@@ -1,0 +1,30 @@
+//! # adainf-baselines
+//!
+//! Reimplementations of the comparison methods of §4/§5 against the same
+//! simulator and scheduler interface as AdaInf:
+//!
+//! * [`ekya::EkyaScheduler`] — Ekya \[3\]: a 50 s-period scheduler that
+//!   splits each application's even GPU share between bulk retraining and
+//!   inference with a resource-moving heuristic that maximises estimated
+//!   average accuracy. Retraining runs to completion on all samples, so
+//!   inference only benefits from the retrained model after the
+//!   completion point (~20 s into the period); the scheduler is not
+//!   SLO-aware.
+//! * [`scrooge::ScroogeScheduler`] — Scrooge \[10\]: a per-session optimiser
+//!   that picks the cheapest GPU amount and batch size meeting each
+//!   application's SLO. Retraining is offloaded to the cloud, paying an
+//!   ~34 s edge–cloud transfer per period (85.7 GB, Table 1), so models
+//!   stay stale for most of each period. `Scrooge*` divides capacity
+//!   proportionally instead of greedily.
+//!
+//! Both baselines run with per-request execution and LRU eviction — the
+//! memory strategies of §3.4 are AdaInf contributions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ekya;
+pub mod scrooge;
+
+pub use ekya::EkyaScheduler;
+pub use scrooge::ScroogeScheduler;

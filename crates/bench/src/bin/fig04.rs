@@ -1,0 +1,4 @@
+//! Regenerates fig04 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig04", adainf_bench::experiments::fig04);
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig05 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig05", adainf_bench::experiments::fig05);
+}

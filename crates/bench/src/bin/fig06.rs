@@ -1,0 +1,4 @@
+//! Regenerates fig06 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig06", adainf_bench::experiments::fig06);
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig07 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig07", adainf_bench::experiments::fig07);
+}

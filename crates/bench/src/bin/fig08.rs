@@ -1,0 +1,4 @@
+//! Regenerates fig08 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig08", adainf_bench::experiments::fig08);
+}

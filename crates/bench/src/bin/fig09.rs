@@ -1,0 +1,4 @@
+//! Regenerates fig09 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig09", adainf_bench::experiments::fig09);
+}

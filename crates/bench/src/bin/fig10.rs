@@ -1,0 +1,4 @@
+//! Regenerates fig10 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig10", adainf_bench::experiments::fig10);
+}

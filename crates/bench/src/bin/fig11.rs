@@ -1,0 +1,4 @@
+//! Regenerates fig11 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig11", adainf_bench::experiments::fig11);
+}

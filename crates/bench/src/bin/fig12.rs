@@ -1,0 +1,4 @@
+//! Regenerates Figs 12a/12b (content reuse-time CDFs).
+fn main() {
+    adainf_bench::main_for("fig12", adainf_bench::experiments::fig12_13);
+}

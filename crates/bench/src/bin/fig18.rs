@@ -1,0 +1,10 @@
+//! Regenerates Fig 18 (accuracy comparison: default, #apps, #GPUs).
+//! Prints Fig 19's finish-rate columns too (the runs are shared).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = adainf_bench::experiments::Scale::from_args(&args);
+    eprintln!("[fig18] running at {scale:?} scale …");
+    println!("{}", adainf_bench::experiments::fig18_19a(scale));
+    println!("{}", adainf_bench::experiments::fig18_19b(scale));
+    println!("{}", adainf_bench::experiments::fig18_19c(scale));
+}

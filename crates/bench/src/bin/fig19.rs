@@ -1,0 +1,9 @@
+//! Regenerates Fig 19 (finish-rate comparison; shares the Fig 18 runs).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = adainf_bench::experiments::Scale::from_args(&args);
+    eprintln!("[fig19] running at {scale:?} scale …");
+    println!("{}", adainf_bench::experiments::fig18_19a(scale));
+    println!("{}", adainf_bench::experiments::fig18_19b(scale));
+    println!("{}", adainf_bench::experiments::fig18_19c(scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig20 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig20", adainf_bench::experiments::fig20);
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig21 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig21", adainf_bench::experiments::fig21);
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig22 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig22", adainf_bench::experiments::fig22);
+}

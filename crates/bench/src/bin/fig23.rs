@@ -1,0 +1,4 @@
+//! Regenerates fig23 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig23", adainf_bench::experiments::fig23);
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig24 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("fig24", adainf_bench::experiments::fig24);
+}

@@ -1,0 +1,63 @@
+//! Per-application breakdown (beyond the paper's aggregates): accuracy,
+//! finish-relevant latency percentiles and retraining volume for every
+//! application under each method. Shows *which* applications each
+//! scheduler sacrifices — e.g. Ekya's even shares starving the heavy
+//! social-media DAG while light apps cruise.
+use adainf_core::AdaInfConfig;
+use adainf_harness::experiments::Scale;
+use adainf_harness::parallel::run_many;
+use adainf_harness::report::{pct, table};
+use adainf_harness::sim::Method;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("[per_app] running at {scale:?} scale …");
+    let base = scale.base();
+    let names: Vec<String> = adainf_apps::apps_for_count(base.num_apps)
+        .into_iter()
+        .map(|a| a.name)
+        .collect();
+    let runs = run_many(
+        vec![
+            base.with_method(Method::AdaInf(AdaInfConfig::default())),
+            base.with_method(Method::Ekya),
+            base.with_method(Method::Scrooge),
+        ],
+        0,
+    );
+    for m in &runs {
+        let mut rows = Vec::new();
+        for (app, name) in names.iter().enumerate() {
+            let (p50, p95, p99) = m.latency_percentiles(app);
+            let samples: u64 = m.retrain_samples[app].iter().sum();
+            rows.push(vec![
+                name.clone(),
+                m.per_app_accuracy[app]
+                    .ratios()
+                    .iter()
+                    .filter_map(|a| *a)
+                    .map(pct)
+                    .next_back()
+                    .unwrap_or_else(|| "-".into()),
+                pct(m.per_app_accuracy[app].mean()),
+                format!("{p50:.0}/{p95:.0}/{p99:.0}ms"),
+                samples.to_string(),
+            ]);
+        }
+        println!(
+            "{} — per-application breakdown\n{}",
+            m.name,
+            table(
+                &[
+                    "application",
+                    "final-period acc",
+                    "mean acc",
+                    "latency p50/p95/p99",
+                    "retrain samples"
+                ],
+                &rows
+            )
+        );
+    }
+}

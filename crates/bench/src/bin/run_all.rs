@@ -1,0 +1,40 @@
+//! Regenerates every table and figure in sequence (use `--fast` for a
+//! quick pass; `--full` for the paper's 1000 s horizon).
+use adainf_bench::experiments as ex;
+
+/// A named figure regenerator.
+type Item = (&'static str, fn(ex::Scale) -> String);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = ex::Scale::from_args(&args);
+    let items: Vec<Item> = vec![
+        ("fig04", ex::fig04),
+        ("fig05", ex::fig05),
+        ("fig06", ex::fig06),
+        ("fig07", ex::fig07),
+        ("fig08", ex::fig08),
+        ("fig09", ex::fig09),
+        ("fig10", ex::fig10),
+        ("fig11", ex::fig11),
+        ("fig12+13", ex::fig12_13),
+        ("fig18/19a", ex::fig18_19a),
+        ("fig18/19b", ex::fig18_19b),
+        ("fig18/19c", ex::fig18_19c),
+        ("fig20", ex::fig20),
+        ("fig21", ex::fig21),
+        ("fig22", ex::fig22),
+        ("fig23", ex::fig23),
+        ("fig24", ex::fig24),
+        ("table1", ex::table1),
+        ("table2", ex::table2),
+    ];
+    // `trajectory` and `extensions` cover material beyond the paper's
+    // figures; run them via their own binaries.
+    for (name, f) in items {
+        eprintln!("=== {name} ===");
+        let t0 = std::time::Instant::now();
+        println!("{}", f(scale));
+        eprintln!("[{name}] {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates table1 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("table1", adainf_bench::experiments::table1);
+}

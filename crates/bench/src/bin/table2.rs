@@ -1,0 +1,4 @@
+//! Regenerates table2 of the paper. `--fast` / `--full` adjust the horizon.
+fn main() {
+    adainf_bench::main_for("table2", adainf_bench::experiments::table2);
+}

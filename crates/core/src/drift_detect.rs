@@ -1,0 +1,325 @@
+//! Data-drift impact detection (§3.2).
+//!
+//! For each model of an application, at each period boundary:
+//!
+//! 1. Take the `S`-fraction of new training samples that deviate the most
+//!    from the old training data: feature vectors (the model's first-layer
+//!    representation) are PCA-reduced, and each new sample's cosine
+//!    distance to the mean old feature vector ranks its deviation.
+//! 2. Run the current model on those samples; if its accuracy `I'_m` has
+//!    dropped below the reference accuracy `I_m` (beyond a small
+//!    finite-sample margin), the model is impacted, with impact degree
+//!    `I_m − I'_m`. As the most-deviating samples of *any* distribution
+//!    are its intrinsically hard tail, the reference is measured on the
+//!    equally-deviant tail of the **old** training data — the drift-free
+//!    counterfactual — rather than on the full initial test set.
+//! 3. Grow `S` and repeat until the set of impacted models is unchanged
+//!    for `n` consecutive rounds.
+//!
+//! The same deviation ranking orders the retraining pool: AdaInf "selects
+//! the samples that deviate the most from the old training samples"
+//! (§3.3.2).
+
+use crate::config::AdaInfConfig;
+use adainf_apps::AppRuntime;
+use adainf_nn::metrics::cosine_distance;
+use adainf_nn::pca::Pca;
+use adainf_simcore::Prng;
+
+/// Detection outcome for one application.
+#[derive(Clone, Debug, Default)]
+pub struct DriftReport {
+    /// Impacted nodes with impact degrees `I_m − I'_m`, ascending node.
+    pub impacted: Vec<(usize, f64)>,
+    /// The `S` value at which detection stopped (fraction of samples).
+    pub final_s: f64,
+    /// Detection trace: `(S, impacted node set)` per round (Table 2).
+    pub trace: Vec<(f64, Vec<usize>)>,
+}
+
+/// Ranks the new-pool samples of `node` by descending deviation from the
+/// old training data; returns sample indices, most deviating first.
+pub fn deviation_order(
+    rt: &AppRuntime,
+    node: usize,
+    pca_components: usize,
+    rng: &mut Prng,
+) -> Vec<usize> {
+    let old = rt.old_samples(node);
+    let new = rt.pools[node].samples();
+    rank_against(rt, node, old, new, pca_components, rng)
+}
+
+/// The retraining consumption order (§3.3.2): deviation-prioritised but
+/// stratified — the ranking is split into a most-deviating half and a
+/// remainder, interleaved 1:1. Early slices are thus dominated by the
+/// drifted samples (the paper's "samples that deviate the most"), while
+/// every SGD stage still sees a distribution mix, which keeps sequential
+/// slice training from regressing onto the stale-looking tail at the end
+/// of the pool.
+pub fn retrain_order(
+    rt: &AppRuntime,
+    node: usize,
+    pca_components: usize,
+    rng: &mut Prng,
+) -> Vec<usize> {
+    let ranked = deviation_order(rt, node, pca_components, rng);
+    let n = ranked.len();
+    let half = n / 2;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..half {
+        out.push(ranked[i]);
+        if half + i < n {
+            out.push(ranked[half + i]);
+        }
+    }
+    if n % 2 == 1 {
+        out.push(ranked[n - 1]);
+    }
+    out
+}
+
+/// Ranks `new` samples by descending cosine deviation of their (PCA'd)
+/// feature vectors from the per-class mean feature vectors of `old`.
+fn rank_against(
+    rt: &AppRuntime,
+    node: usize,
+    old: &adainf_driftgen::LabeledSamples,
+    new: &adainf_driftgen::LabeledSamples,
+    pca_components: usize,
+    rng: &mut Prng,
+) -> Vec<usize> {
+    if new.is_empty() || old.is_empty() {
+        return (0..new.len()).collect();
+    }
+    let model = &rt.models[node];
+    let old_features = model.features(old);
+    let pca = Pca::fit(&old_features, pca_components, rng);
+    let old_projected = pca.transform(&old_features);
+    // Mean old feature vector per class (golden labels are known for the
+    // old training data), falling back to the global mean for classes
+    // unseen in the old data. Comparing a new sample against the old
+    // mean of *its own class* makes the deviation ranking sensitive to
+    // per-class appearance drift.
+    let k = pca.k();
+    let classes = rt.models[node].classes();
+    let global_mean = old_projected.col_means();
+    let mut class_means = vec![global_mean.clone(); classes];
+    let mut counts = vec![0usize; classes];
+    for &label in &old.labels {
+        counts[label] += 1;
+    }
+    for c in 0..classes {
+        if counts[c] == 0 {
+            continue;
+        }
+        let mut mean = vec![0.0f32; k];
+        for (i, &label) in old.labels.iter().enumerate() {
+            if label == c {
+                for (m, v) in mean.iter_mut().zip(old_projected.row(i)) {
+                    *m += v;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= counts[c] as f32;
+        }
+        class_means[c] = mean;
+    }
+    let new_projected = pca.transform(&model.features(new));
+    let mut scored: Vec<(usize, f64)> = (0..new.len())
+        .map(|i| {
+            let mean = &class_means[new.labels[i]];
+            (i, cosine_distance(new_projected.row(i), mean))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite distances"));
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+/// Runs the §3.2 detection loop over all nodes of one application.
+pub fn detect_drift(rt: &mut AppRuntime, config: &AdaInfConfig, rng: &mut Prng) -> DriftReport {
+    let n_nodes = rt.spec.nodes.len();
+    // Deviation ranking per node, computed once (the ranking does not
+    // depend on S; S only selects the prefix).
+    let orders: Vec<Vec<usize>> = (0..n_nodes)
+        .map(|node| deviation_order(rt, node, config.pca_components, rng))
+        .collect();
+
+    // Reference ranking: the held-out old-distribution samples' deviant
+    // tail. Their accuracy under the current model is the drift-free
+    // counterfactual `I_m` (held-out, so free of memorisation bias).
+    let ref_orders: Vec<Vec<usize>> = (0..n_nodes)
+        .map(|node| {
+            let old = rt.old_samples(node).clone();
+            let held_out = rt.ref_samples(node).clone();
+            rank_against(rt, node, &old, &held_out, config.pca_components, rng)
+        })
+        .collect();
+
+    let mut report = DriftReport::default();
+    let mut s = config.s_init;
+    let mut stable = 0usize;
+    let mut last_set: Option<Vec<usize>> = None;
+    let mut impacts = vec![0.0f64; n_nodes];
+
+    while stable < config.stable_rounds && s <= 1.0 {
+        let mut set = Vec::new();
+        for node in 0..n_nodes {
+            let pool = rt.pools[node].samples();
+            let held_out = rt.ref_samples(node);
+            if pool.is_empty() || held_out.is_empty() {
+                continue;
+            }
+            let take = ((s * pool.len() as f64).ceil() as usize).clamp(1, pool.len());
+            let subset = pool.select(&orders[node][..take]);
+            let ref_take = ((s * held_out.len() as f64).ceil() as usize)
+                .clamp(1, held_out.len());
+            let reference = held_out.select(&ref_orders[node][..ref_take]);
+            let model = &rt.models[node];
+            let i_prime = model.accuracy_on(&subset, model.profile.full_cut());
+            let i_m = model.accuracy_on(&reference, model.profile.full_cut());
+            if i_m - i_prime > config.detect_margin {
+                set.push(node);
+                impacts[node] = i_m - i_prime;
+            }
+        }
+        report.trace.push((s, set.clone()));
+        if last_set.as_deref() == Some(&set) {
+            stable += 1;
+        } else {
+            stable = 1;
+            last_set = Some(set);
+        }
+        report.final_s = s;
+        s += config.s_step;
+    }
+
+    if let Some(set) = last_set {
+        report.impacted = set.into_iter().map(|n| (n, impacts[n])).collect();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adainf_apps::catalog;
+    use adainf_driftgen::workload::ArrivalConfig;
+
+    fn drifted_runtime(periods: usize) -> AppRuntime {
+        let root = Prng::new(314);
+        let mut rt = AppRuntime::new(
+            catalog::video_surveillance(0),
+            ArrivalConfig::default(),
+            800,
+            &root,
+        );
+        for _ in 0..periods {
+            rt.advance_period();
+        }
+        rt
+    }
+
+    #[test]
+    fn detects_drifted_models_not_stable_ones() {
+        let mut rt = drifted_runtime(3);
+        let mut rng = Prng::new(1);
+        let report = detect_drift(&mut rt, &AdaInfConfig::default(), &mut rng);
+        let nodes: Vec<usize> = report.impacted.iter().map(|(n, _)| *n).collect();
+        // Node 0 (object detection) is stable and must not be flagged;
+        // node 1 (vehicle, severe drift) must be.
+        assert!(!nodes.contains(&0), "stable node flagged: {nodes:?}");
+        assert!(nodes.contains(&1), "severe-drift node missed: {nodes:?}");
+        for (_, impact) in &report.impacted {
+            assert!(*impact > 0.0 && *impact <= 1.0);
+        }
+    }
+
+    #[test]
+    fn severe_detected_at_least_as_often_as_moderate() {
+        // Obs. 3: among impacted models, the severe-drift vehicle node
+        // is hit harder than the moderate-drift person node. With
+        // per-class random angular velocities the *degree* after several
+        // periods is noisy (both saturate), so we assert the stable
+        // statistic: across realisations, early-period detection fires
+        // for the severe node at least as often as for the moderate one,
+        // and the stable node is never flagged.
+        let mut severe_hits = 0;
+        let mut moderate_hits = 0;
+        let mut stable_hits = 0;
+        for seed in 0..6u64 {
+            let root = Prng::new(1000 + seed);
+            let mut rt = AppRuntime::new(
+                catalog::video_surveillance(0),
+                ArrivalConfig::default(),
+                800,
+                &root,
+            );
+            for _ in 0..2 {
+                rt.advance_period();
+            }
+            let mut rng = Prng::new(seed);
+            let report = detect_drift(&mut rt, &AdaInfConfig::default(), &mut rng);
+            for (node, _) in &report.impacted {
+                match node {
+                    0 => stable_hits += 1,
+                    1 => severe_hits += 1,
+                    2 => moderate_hits += 1,
+                    _ => {}
+                }
+            }
+        }
+        // Finite-sample tails allow occasional false positives on the
+        // stable node, but they must stay rare.
+        assert!(stable_hits <= 2, "stable node flagged {stable_hits}/6");
+        assert!(
+            severe_hits >= moderate_hits,
+            "severe {severe_hits} vs moderate {moderate_hits}"
+        );
+        assert!(severe_hits >= 3, "severe detections too rare: {severe_hits}");
+    }
+
+    #[test]
+    fn detection_stops_after_stable_rounds() {
+        let mut rt = drifted_runtime(2);
+        let mut rng = Prng::new(2);
+        let config = AdaInfConfig::default();
+        let report = detect_drift(&mut rt, &config, &mut rng);
+        // The trace's last `stable_rounds` entries carry the same set.
+        let k = config.stable_rounds;
+        assert!(report.trace.len() >= k);
+        let tail = &report.trace[report.trace.len() - k..];
+        assert!(tail.windows(2).all(|w| w[0].1 == w[1].1));
+        // S never exceeds 100 %.
+        assert!(report.final_s <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn matches_full_sample_ground_truth() {
+        // Table 2: the iterative process must agree with S = 100 %.
+        let mut rt = drifted_runtime(3);
+        let mut rng = Prng::new(3);
+        let config = AdaInfConfig::default();
+        let report = detect_drift(&mut rt, &config, &mut rng);
+        let full_cfg = AdaInfConfig {
+            s_init: 1.0,
+            ..config
+        };
+        let mut rng2 = Prng::new(3);
+        let full = detect_drift(&mut rt, &full_cfg, &mut rng2);
+        let a: Vec<usize> = report.impacted.iter().map(|(n, _)| *n).collect();
+        let b: Vec<usize> = full.impacted.iter().map(|(n, _)| *n).collect();
+        assert_eq!(a, b, "iterative {a:?} vs full-sample {b:?}");
+    }
+
+    #[test]
+    fn deviation_order_is_permutation() {
+        let rt = drifted_runtime(1);
+        let mut rng = Prng::new(4);
+        let order = deviation_order(&rt, 1, 8, &mut rng);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..order.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,170 @@
+//! Incremental-retraining progress bookkeeping.
+//!
+//! The RI-DAG tells the scheduler *what* to retrain; this module tracks
+//! *how far* each model's incremental retraining has progressed within
+//! the current period — slices issued, samples consumed versus the pool,
+//! and the point at which the pool is exhausted. The tracker backs the
+//! Fig 7b series (per-period retraining time and sample consumption) and
+//! gives operators a live view of where each model stands.
+
+use adainf_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Progress of one model's retraining within the current period.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeProgress {
+    /// Retraining slices applied this period.
+    pub slices: u32,
+    /// Samples consumed this period.
+    pub samples: u32,
+    /// Pool size at the period start (0 if the node is not retraining).
+    pub pool_total: u32,
+    /// GPU time spent retraining this period.
+    pub gpu_time: SimDuration,
+    /// When the pool was exhausted, if it was.
+    pub completed_at: Option<SimTime>,
+}
+
+impl NodeProgress {
+    /// Completed fraction of the pool (1.0 when the pool was empty).
+    pub fn fraction(&self) -> f64 {
+        if self.pool_total == 0 {
+            1.0
+        } else {
+            (self.samples as f64 / self.pool_total as f64).min(1.0)
+        }
+    }
+
+    /// Whether the pool has been fully consumed.
+    pub fn complete(&self) -> bool {
+        self.samples >= self.pool_total
+    }
+}
+
+/// Per-(app, node) progress tracking across periods.
+#[derive(Clone, Debug, Default)]
+pub struct RetrainProgress {
+    current: HashMap<(usize, usize), NodeProgress>,
+    /// Completed periods' summaries, in order.
+    history: Vec<Vec<((usize, usize), NodeProgress)>>,
+}
+
+impl RetrainProgress {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        RetrainProgress::default()
+    }
+
+    /// Starts a new period: the current state is archived and the node
+    /// set re-registered with its pool sizes.
+    pub fn start_period(&mut self, pools: impl IntoIterator<Item = ((usize, usize), u32)>) {
+        if !self.current.is_empty() {
+            let mut snapshot: Vec<_> = self.current.drain().collect();
+            snapshot.sort_by_key(|(k, _)| *k);
+            self.history.push(snapshot);
+        }
+        for (key, pool_total) in pools {
+            self.current.insert(
+                key,
+                NodeProgress {
+                    pool_total,
+                    ..NodeProgress::default()
+                },
+            );
+        }
+    }
+
+    /// Records one applied slice.
+    pub fn record_slice(
+        &mut self,
+        app: usize,
+        node: usize,
+        samples: u32,
+        gpu_time: SimDuration,
+        now: SimTime,
+    ) {
+        let p = self.current.entry((app, node)).or_default();
+        p.slices += 1;
+        p.samples += samples;
+        p.gpu_time += gpu_time;
+        if p.completed_at.is_none() && p.pool_total > 0 && p.samples >= p.pool_total {
+            p.completed_at = Some(now);
+        }
+    }
+
+    /// Progress of `(app, node)` this period.
+    pub fn node(&self, app: usize, node: usize) -> NodeProgress {
+        self.current.get(&(app, node)).copied().unwrap_or_default()
+    }
+
+    /// Mean completed fraction across the registered nodes this period.
+    pub fn mean_fraction(&self) -> f64 {
+        if self.current.is_empty() {
+            return 1.0;
+        }
+        self.current.values().map(NodeProgress::fraction).sum::<f64>()
+            / self.current.len() as f64
+    }
+
+    /// Total GPU time spent retraining this period.
+    pub fn gpu_time(&self) -> SimDuration {
+        self.current
+            .values()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.gpu_time)
+    }
+
+    /// Archived per-period snapshots.
+    pub fn history(&self) -> &[Vec<((usize, usize), NodeProgress)>] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_slices_to_completion() {
+        let mut p = RetrainProgress::new();
+        p.start_period(vec![((0, 1), 100), ((0, 2), 50)]);
+        p.record_slice(0, 1, 40, SimDuration::from_millis(10), SimTime::from_secs(1));
+        p.record_slice(0, 1, 60, SimDuration::from_millis(15), SimTime::from_secs(2));
+        let n = p.node(0, 1);
+        assert_eq!(n.slices, 2);
+        assert_eq!(n.samples, 100);
+        assert!(n.complete());
+        assert_eq!(n.completed_at, Some(SimTime::from_secs(2)));
+        assert_eq!(n.gpu_time, SimDuration::from_millis(25));
+        // Node 2 untouched: fraction 0.
+        assert_eq!(p.node(0, 2).fraction(), 0.0);
+        assert!((p.mean_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_rollover_archives() {
+        let mut p = RetrainProgress::new();
+        p.start_period(vec![((0, 1), 10)]);
+        p.record_slice(0, 1, 10, SimDuration::from_millis(1), SimTime::from_secs(1));
+        p.start_period(vec![((0, 1), 20)]);
+        assert_eq!(p.history().len(), 1);
+        assert_eq!(p.history()[0][0].1.samples, 10);
+        assert_eq!(p.node(0, 1).samples, 0);
+        assert_eq!(p.node(0, 1).pool_total, 20);
+    }
+
+    #[test]
+    fn empty_pool_counts_as_complete() {
+        let mut p = RetrainProgress::new();
+        p.start_period(vec![((1, 0), 0)]);
+        assert_eq!(p.node(1, 0).fraction(), 1.0);
+        assert_eq!(p.mean_fraction(), 1.0);
+    }
+
+    #[test]
+    fn unknown_node_is_default() {
+        let p = RetrainProgress::new();
+        let n = p.node(9, 9);
+        assert_eq!(n.slices, 0);
+        assert_eq!(n.fraction(), 1.0);
+    }
+}

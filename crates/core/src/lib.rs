@@ -1,0 +1,50 @@
+//! # adainf-core
+//!
+//! The AdaInf scheduler (§3): data-drift-aware joint scheduling of
+//! retraining and inference for multi-model applications on an edge
+//! server's GPUs.
+//!
+//! Components, one module per mechanism in the paper:
+//!
+//! * [`plan`] — the scheduler interface shared with the baselines: a
+//!   period-level hook (drift detection, retraining-inference DAG
+//!   generation, bulk/cloud retraining plans) and a session-level hook
+//!   (per-job GPU fraction, batch size, structure choice, retraining
+//!   slices).
+//! * [`drift_detect`] — §3.2: PCA + cosine-distance selection of the most
+//!   deviating `S` samples, iterative growth of `S` until the detected
+//!   set stabilises, and per-model impact degrees.
+//! * [`ridag`] — §3.2: the retraining-inference DAG of one application.
+//! * [`profiler`] — the stand-in for AdaInf's offline profiling: batch ×
+//!   structure latency tables at full GPU and communication-inflation
+//!   factors per memory strategy.
+//! * [`regression`] — the non-linear (power-law) regression of \[3\] used
+//!   to scale latencies between GPU fractions and to invert for the
+//!   required fraction.
+//! * [`space`] — §3.3.1: GPU space division among the jobs of a session,
+//!   proportional to their SLO-derived demand.
+//! * [`timealloc`] — §3.3.2: splitting a job's SLO time between inference
+//!   and retraining, early-exit structure selection under the accuracy
+//!   threshold `A_m`, impact-proportional retraining-time division and
+//!   retraining-setting selection.
+//! * [`config`] — all tunables (α, `A_m`, `S`…) and the ablation switches
+//!   (/I, /U, /S, /E, /M1, /M2 of §5.2).
+//! * [`scheduler`] — [`scheduler::AdaInfScheduler`], tying it together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod drift_detect;
+pub mod incremental;
+pub mod plan;
+pub mod profiler;
+pub mod regression;
+pub mod ridag;
+pub mod scheduler;
+pub mod space;
+pub mod timealloc;
+
+pub use config::AdaInfConfig;
+pub use plan::{JobPlan, PeriodPlan, RetrainSlice, Scheduler, SessionCtx};
+pub use scheduler::AdaInfScheduler;

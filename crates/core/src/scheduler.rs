@@ -1,0 +1,518 @@
+//! The AdaInf scheduler (§3.1 overview).
+//!
+//! At each period boundary: run drift detection per application, build
+//! the retraining-inference DAGs, order every retraining pool by
+//! deviation (most-deviating samples first) and refresh the per-structure
+//! accuracy snapshots. At each session: divide GPU space among the jobs
+//! (§3.3.1) and divide each job's SLO time between inference and
+//! retraining (§3.3.2), emitting one [`JobPlan`] per job.
+//!
+//! Planning overheads are measured with wall-clock timers and reported in
+//! the period plan (Table 1 — the paper's AdaInf takes ~4.2 s for the
+//! periodical DAG update and ~2 ms per scheduling round).
+
+use crate::config::AdaInfConfig;
+use crate::drift_detect::{detect_drift, retrain_order, DriftReport};
+use crate::incremental::RetrainProgress;
+use crate::plan::{AppPeriodPlan, JobPlan, PeriodPlan, Scheduler, SessionCtx};
+use crate::profiler::Profiler;
+use crate::ridag::RiDag;
+use crate::space::{divide_space, divide_space_joint, JobDemand};
+use crate::timealloc::{allocate_time, strategies};
+use adainf_apps::{AppRuntime, AppSpec};
+use adainf_simcore::{Prng, SimDuration, SimTime};
+use std::time::Instant;
+
+/// Per-application scheduling state snapshotted at the period boundary.
+#[derive(Clone, Debug, Default)]
+struct AppState {
+    ridag: RiDag,
+    /// `(cut, accuracy)` per node, refreshed each period from the `S`
+    /// new training samples (§3.3.2).
+    acc_table: Vec<Vec<(usize, f64)>>,
+    initial_acc: Vec<f64>,
+    /// AdaInf/U: the DAG freezes at its first non-empty detection ("it
+    /// creates the retraining-inference DAG once").
+    frozen: bool,
+}
+
+/// The AdaInf scheduler.
+pub struct AdaInfScheduler {
+    config: AdaInfConfig,
+    profiler: Profiler,
+    rng: Prng,
+    specs: Vec<AppSpec>,
+    states: Vec<AppState>,
+    /// Drift reports of the latest detection round (Table 2).
+    pub last_reports: Vec<DriftReport>,
+    /// Live incremental-retraining progress (planned slices; the harness
+    /// holds ground truth for actually consumed samples).
+    pub progress: RetrainProgress,
+    /// Cumulative wall-clock spent in session scheduling, and calls.
+    sched_wall_ns: u128,
+    sched_calls: u64,
+}
+
+impl AdaInfScheduler {
+    /// Creates the scheduler for a fixed application set.
+    pub fn new(config: AdaInfConfig, profiler: Profiler, specs: Vec<AppSpec>, seed: u64) -> Self {
+        let n = specs.len();
+        AdaInfScheduler {
+            config,
+            profiler,
+            rng: Prng::new(seed ^ 0x000A_DA1F),
+            specs,
+            states: vec![AppState::default(); n],
+            last_reports: Vec::new(),
+            progress: RetrainProgress::new(),
+            sched_wall_ns: 0,
+            sched_calls: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdaInfConfig {
+        &self.config
+    }
+
+    /// Mean measured wall-clock per session scheduling call.
+    pub fn mean_sched_wall(&self) -> std::time::Duration {
+        if self.sched_calls == 0 {
+            return std::time::Duration::ZERO;
+        }
+        std::time::Duration::from_nanos((self.sched_wall_ns / self.sched_calls as u128) as u64)
+    }
+
+    fn refresh_accuracy_tables(&mut self, apps: &mut [AppRuntime]) {
+        for (a, rt) in apps.iter_mut().enumerate() {
+            let mut table = Vec::with_capacity(rt.spec.nodes.len());
+            let mut init = Vec::with_capacity(rt.spec.nodes.len());
+            for node in 0..rt.spec.nodes.len() {
+                let cuts = rt.spec.nodes[node].profile.exit_points();
+                let entries: Vec<(usize, f64)> = cuts
+                    .into_iter()
+                    .map(|cut| (cut, rt.accuracy(node, cut)))
+                    .collect();
+                table.push(entries);
+                init.push(rt.initial_accuracy(node));
+            }
+            self.states[a].acc_table = table;
+            self.states[a].initial_acc = init;
+        }
+    }
+}
+
+impl Scheduler for AdaInfScheduler {
+    fn name(&self) -> String {
+        self.config.variant_name().to_string()
+    }
+
+    fn on_period_start(
+        &mut self,
+        apps: &mut [AppRuntime],
+        _server: &adainf_gpusim::GpuSpec,
+        _now: SimTime,
+    ) -> PeriodPlan {
+        let wall = Instant::now();
+        self.last_reports.clear();
+
+        for (a, rt) in apps.iter_mut().enumerate() {
+            // AdaInf/U builds each application's DAG once — frozen at the
+            // first period in which drift is detected at all.
+            let update_dag =
+                self.config.update_dag_each_period || !self.states[a].frozen;
+            if update_dag {
+                let report = detect_drift(rt, &self.config, &mut self.rng);
+                self.states[a].ridag = RiDag::build(&rt.spec, &report);
+                if !report.impacted.is_empty() {
+                    self.states[a].frozen = true;
+                }
+                self.last_reports.push(report);
+            }
+            // Order every retraining pool by deviation so retraining
+            // consumes the most-deviating samples first (§3.3.2). This
+            // applies even for /U — sample selection is not part of the
+            // DAG-update ablation.
+            for node in 0..rt.spec.nodes.len() {
+                if self.states[a].ridag.retrains(node) {
+                    let order =
+                        retrain_order(rt, node, self.config.pca_components, &mut self.rng);
+                    rt.pools[node].set_order(&order);
+                }
+            }
+        }
+        self.refresh_accuracy_tables(apps);
+        // Register this period's retraining nodes with the progress
+        // tracker.
+        let registrations: Vec<((usize, usize), u32)> = self
+            .states
+            .iter()
+            .enumerate()
+            .flat_map(|(a, s)| {
+                s.ridag
+                    .entries
+                    .iter()
+                    .map(move |e| ((a, e.node), 0u32))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut regs = registrations;
+        for ((a, node), pool) in regs.iter_mut() {
+            *pool = apps[*a].pools[*node].total() as u32;
+        }
+        self.progress.start_period(regs);
+
+        PeriodPlan {
+            apps: self
+                .states
+                .iter()
+                .map(|s| AppPeriodPlan {
+                    ri_entries: s.ridag.entries.clone(),
+                })
+                .collect(),
+            bulk: Vec::new(),
+            overhead: SimDuration::from_millis_f64(wall.elapsed().as_secs_f64() * 1e3),
+            edge_cloud_bytes: 0,
+        }
+    }
+
+    fn on_session(&mut self, ctx: &SessionCtx<'_>) -> Vec<JobPlan> {
+        let wall = Instant::now();
+        let demands: Vec<JobDemand> = ctx
+            .predicted
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(app, &n)| JobDemand {
+                app,
+                requests: n,
+                cost: self.specs[app].full_structure_cost(),
+                slo: self.specs[app].slo,
+            })
+            .collect();
+        if demands.is_empty() {
+            return Vec::new();
+        }
+
+        // §6 extension: serve low-rate applications on the host CPU when
+        // that still meets their SLO, freeing GPU space.
+        let cpu_jobs: Vec<usize> = if self.config.cpu_offload_threshold > 0 {
+            demands
+                .iter()
+                .filter(|j| {
+                    j.requests <= self.config.cpu_offload_threshold
+                        && self.profiler.latency.cpu_inference(&j.cost, j.requests)
+                            <= j.slo
+                })
+                .map(|j| j.app)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let gpu_demands: Vec<JobDemand> = demands
+            .iter()
+            .filter(|j| !cpu_jobs.contains(&j.app))
+            .cloned()
+            .collect();
+
+        let mut division = if self.config.joint_batch_space {
+            divide_space_joint(
+                &gpu_demands,
+                ctx.server.total_space(),
+                ctx.avg_job_time,
+                &self.profiler,
+            )
+        } else {
+            divide_space(
+                &gpu_demands,
+                ctx.server.total_space(),
+                ctx.avg_job_time,
+                self.config.slo_aware_space,
+                &self.profiler,
+            )
+        };
+        // Never over-commit the free capacity: scale down proportionally.
+        let wanted: f64 = division.iter().map(|d| d.gpu).sum();
+        if wanted > ctx.free_gpus && wanted > 0.0 {
+            let k = (ctx.free_gpus / wanted).max(0.0);
+            for d in &mut division {
+                d.gpu = (d.gpu * k).max(1e-3);
+            }
+        }
+
+        let (mode, policy) = strategies(&self.config);
+        let mut plans: Vec<JobPlan> = division
+            .iter()
+            .zip(&gpu_demands)
+            .map(|(d, job)| {
+                let state = &self.states[job.app];
+                let spec = &self.specs[job.app];
+                let acc_table = &state.acc_table;
+                let acc = |node: usize, cut: usize| -> f64 {
+                    acc_table
+                        .get(node)
+                        .and_then(|entries| {
+                            entries.iter().find(|(c, _)| *c == cut).map(|(_, a)| *a)
+                        })
+                        .unwrap_or(0.0)
+                };
+                let alloc = allocate_time(
+                    spec,
+                    &state.ridag,
+                    &acc,
+                    &state.initial_acc,
+                    d.gpu,
+                    job.requests,
+                    &ctx.pool_remaining[job.app],
+                    &self.config,
+                    &self.profiler,
+                );
+                for s in &alloc.slices {
+                    self.progress.record_slice(
+                        job.app,
+                        s.node,
+                        s.samples,
+                        s.time.mul_f64(d.gpu),
+                        ctx.now,
+                    );
+                }
+                JobPlan {
+                    app: job.app,
+                    gpu: d.gpu,
+                    batch: alloc.batch,
+                    cuts: alloc.cuts,
+                    retrain: alloc.slices,
+                    exec: mode,
+                    eviction: policy,
+                    serial: false,
+                    cpu: false,
+                }
+            })
+            .collect();
+        for app in cpu_jobs {
+            plans.push(JobPlan {
+                app,
+                gpu: 0.0,
+                batch: 1,
+                cuts: self.specs[app].full_cuts(),
+                retrain: Vec::new(),
+                exec: mode,
+                eviction: policy,
+                serial: false,
+                cpu: true,
+            });
+        }
+
+        self.sched_wall_ns += wall.elapsed().as_nanos();
+        self.sched_calls += 1;
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adainf_apps::catalog;
+    use adainf_driftgen::workload::ArrivalConfig;
+    use adainf_gpusim::GpuSpec;
+
+    fn setup(n_apps: usize) -> (AdaInfScheduler, Vec<AppRuntime>, GpuSpec) {
+        let root = Prng::new(55);
+        let specs = catalog::apps_for_count(n_apps);
+        let apps: Vec<AppRuntime> = specs
+            .iter()
+            .cloned()
+            .map(|s| AppRuntime::new(s, ArrivalConfig::default(), 400, &root))
+            .collect();
+        let sched = AdaInfScheduler::new(
+            AdaInfConfig::default(),
+            Profiler::default(),
+            specs,
+            7,
+        );
+        (sched, apps, GpuSpec::with_gpus(4))
+    }
+
+    #[test]
+    fn period_plan_contains_ri_dags() {
+        let (mut sched, mut apps, server) = setup(2);
+        for rt in &mut apps {
+            for _ in 0..3 {
+                rt.advance_period();
+            }
+        }
+        let plan = sched.on_period_start(&mut apps, &server, SimTime::from_secs(150));
+        assert_eq!(plan.apps.len(), 2);
+        assert!(plan.bulk.is_empty());
+        assert_eq!(plan.edge_cloud_bytes, 0);
+        // At least one model somewhere should be flagged after 3 drifted
+        // periods (app 0 has a severe node).
+        let total: usize = plan.apps.iter().map(|a| a.ri_entries.len()).sum();
+        assert!(total >= 1, "no drift detected at all");
+    }
+
+    #[test]
+    fn session_plans_fit_capacity_and_slo() {
+        let (mut sched, mut apps, server) = setup(3);
+        for rt in &mut apps {
+            rt.advance_period();
+        }
+        sched.on_period_start(&mut apps, &server, SimTime::from_secs(50));
+        let predicted = vec![16u32, 32, 8];
+        let pools: Vec<Vec<usize>> = apps
+            .iter()
+            .map(|rt| rt.pools.iter().map(|p| p.remaining()).collect())
+            .collect();
+        let ctx = SessionCtx {
+            now: SimTime::from_secs(50),
+            predicted: &predicted,
+            server: &server,
+            free_gpus: 4.0,
+            avg_job_time: SimDuration::from_millis(100),
+            pool_remaining: &pools,
+        };
+        let plans = sched.on_session(&ctx);
+        assert_eq!(plans.len(), 3);
+        let total_gpu: f64 = plans.iter().map(|p| p.gpu).sum();
+        assert!(total_gpu <= 4.0 + 1e-9, "over-committed {total_gpu}");
+        for p in &plans {
+            assert!(p.batch >= 1);
+            assert_eq!(p.cuts.len(), apps[p.app].spec.nodes.len());
+            // Slice budgets must fit inside the SLO.
+            let retrain_ms: f64 = p.retrain.iter().map(|s| s.time.as_millis_f64()).sum();
+            assert!(retrain_ms <= apps[p.app].spec.slo.as_millis_f64() + 1e-6);
+        }
+        assert!(sched.mean_sched_wall().as_micros() < 50_000);
+    }
+
+    #[test]
+    fn capacity_squeeze_scales_allocations() {
+        let (mut sched, mut apps, server) = setup(2);
+        sched.on_period_start(&mut apps, &server, SimTime::ZERO);
+        let predicted = vec![32u32, 32];
+        let pools: Vec<Vec<usize>> = apps
+            .iter()
+            .map(|rt| rt.pools.iter().map(|p| p.remaining()).collect())
+            .collect();
+        let mut ctx = SessionCtx {
+            now: SimTime::ZERO,
+            predicted: &predicted,
+            server: &server,
+            free_gpus: 4.0,
+            avg_job_time: SimDuration::from_millis(50),
+            pool_remaining: &pools,
+        };
+        let roomy: f64 = sched.on_session(&ctx).iter().map(|p| p.gpu).sum();
+        ctx.free_gpus = 0.05;
+        let squeezed: f64 = sched.on_session(&ctx).iter().map(|p| p.gpu).sum();
+        assert!(squeezed <= 0.05 + 1e-6);
+        assert!(squeezed < roomy);
+    }
+
+    #[test]
+    fn no_requests_no_plans() {
+        let (mut sched, mut apps, server) = setup(1);
+        sched.on_period_start(&mut apps, &server, SimTime::ZERO);
+        let predicted = vec![0u32];
+        let pools = vec![vec![0usize; 3]];
+        let ctx = SessionCtx {
+            now: SimTime::ZERO,
+            predicted: &predicted,
+            server: &server,
+            free_gpus: 4.0,
+            avg_job_time: SimDuration::from_millis(50),
+            pool_remaining: &pools,
+        };
+        assert!(sched.on_session(&ctx).is_empty());
+    }
+
+    #[test]
+    fn cpu_offload_serves_small_jobs_on_cpu() {
+        let (_, mut apps, server) = setup(2);
+        let specs: Vec<AppSpec> = apps.iter().map(|a| a.spec.clone()).collect();
+        let config = AdaInfConfig {
+            cpu_offload_threshold: 4,
+            ..AdaInfConfig::default()
+        };
+        let mut sched = AdaInfScheduler::new(config, Profiler::default(), specs, 7);
+        sched.on_period_start(&mut apps, &server, SimTime::ZERO);
+        let predicted = vec![2u32, 48];
+        let pools: Vec<Vec<usize>> = apps
+            .iter()
+            .map(|rt| rt.pools.iter().map(|p| p.remaining()).collect())
+            .collect();
+        let ctx = SessionCtx {
+            now: SimTime::ZERO,
+            predicted: &predicted,
+            server: &server,
+            free_gpus: 4.0,
+            avg_job_time: SimDuration::from_millis(60),
+            pool_remaining: &pools,
+        };
+        let plans = sched.on_session(&ctx);
+        assert_eq!(plans.len(), 2);
+        let small = plans.iter().find(|p| p.app == 0).unwrap();
+        let big = plans.iter().find(|p| p.app == 1).unwrap();
+        assert!(small.cpu, "2-request job should go to the CPU");
+        assert_eq!(small.gpu, 0.0);
+        assert!(small.retrain.is_empty());
+        assert!(!big.cpu, "48-request job stays on the GPU");
+        assert!(big.gpu > 0.0);
+    }
+
+    #[test]
+    fn joint_batch_space_produces_valid_plans() {
+        let (_, mut apps, server) = setup(2);
+        let specs: Vec<AppSpec> = apps.iter().map(|a| a.spec.clone()).collect();
+        let config = AdaInfConfig {
+            joint_batch_space: true,
+            ..AdaInfConfig::default()
+        };
+        let mut sched = AdaInfScheduler::new(config, Profiler::default(), specs, 7);
+        sched.on_period_start(&mut apps, &server, SimTime::ZERO);
+        let predicted = vec![32u32, 32];
+        let pools: Vec<Vec<usize>> = apps
+            .iter()
+            .map(|rt| rt.pools.iter().map(|p| p.remaining()).collect())
+            .collect();
+        let ctx = SessionCtx {
+            now: SimTime::ZERO,
+            predicted: &predicted,
+            server: &server,
+            free_gpus: 4.0,
+            avg_job_time: SimDuration::from_millis(60),
+            pool_remaining: &pools,
+        };
+        let plans = sched.on_session(&ctx);
+        assert_eq!(plans.len(), 2);
+        for p in &plans {
+            assert!(p.gpu > 0.0 && p.gpu <= 1.0);
+            assert!(p.batch >= 1);
+        }
+    }
+
+    #[test]
+    fn variant_u_keeps_first_dag() {
+        let (_, mut apps, server) = setup(1);
+        let specs = vec![apps[0].spec.clone()];
+        let mut sched = AdaInfScheduler::new(
+            AdaInfConfig::variant_u(),
+            Profiler::default(),
+            specs,
+            7,
+        );
+        for _ in 0..2 {
+            apps[0].advance_period();
+        }
+        let p1 = sched.on_period_start(&mut apps, &server, SimTime::from_secs(100));
+        let first: Vec<_> = p1.apps[0].ri_entries.clone();
+        for _ in 0..3 {
+            apps[0].advance_period();
+        }
+        let p2 = sched.on_period_start(&mut apps, &server, SimTime::from_secs(250));
+        assert_eq!(
+            first, p2.apps[0].ri_entries,
+            "variant U must not update the DAG"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! GPU space division among applications (§3.3.1).
+//!
+//! With `T_a` the average time to complete a job, `s = T_a / 5 ms`
+//! sessions run concurrently, so each session receives `G / s` of the
+//! edge server's `G` GPUs. Within a session, each job gets space
+//! proportional to its demand: the fraction `G^i` that the fitted
+//! regression says is needed to pull the job's best full-GPU worst-case
+//! latency `L^i_w` down to its SLO `L^i_s`. The batch size is then
+//! re-adjusted for the actually allocated space (Obs. 6).
+
+use crate::profiler::Profiler;
+use adainf_gpusim::StructureCost;
+use adainf_simcore::time::SESSION;
+use adainf_simcore::SimDuration;
+
+/// One job's demand description for space division.
+#[derive(Clone, Copy, Debug)]
+pub struct JobDemand {
+    /// Application index.
+    pub app: usize,
+    /// Predicted requests this session.
+    pub requests: u32,
+    /// Full-structure cost of the application's initial DAG (profiling
+    /// uses the DAG without retraining tasks, §3.3.1).
+    pub cost: StructureCost,
+    /// The application's latency SLO.
+    pub slo: SimDuration,
+}
+
+/// The space division outcome for one job.
+#[derive(Clone, Copy, Debug)]
+pub struct JobSpace {
+    /// Application index.
+    pub app: usize,
+    /// Allocated GPU amount (GPU units, ≤ 1 per job).
+    pub gpu: f64,
+    /// Batch size re-adjusted for the allocated space.
+    pub batch: u32,
+}
+
+/// Divides `total_gpus` among the session's jobs.
+///
+/// `avg_job_time` is the EWMA of recent job completion times (`T_a`);
+/// `slo_aware = false` is the AdaInf/S ablation (even split).
+pub fn divide_space(
+    jobs: &[JobDemand],
+    total_gpus: f64,
+    avg_job_time: SimDuration,
+    slo_aware: bool,
+    profiler: &Profiler,
+) -> Vec<JobSpace> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    // Concurrent sessions: s = T_a / 5 ms, at least 1.
+    let s = (avg_job_time.as_millis_f64() / SESSION.as_millis_f64()).max(1.0);
+    let session_pool = total_gpus / s;
+
+    // Demand per job: fraction needed to meet the SLO from the best
+    // full-GPU batch configuration.
+    let demands: Vec<f64> = jobs
+        .iter()
+        .map(|j| {
+            if !slo_aware {
+                return 1.0;
+            }
+            let (_b, l_w) = profiler.optimal_batch_full(&j.cost, j.requests);
+            profiler
+                .scaler
+                .required_fraction(l_w.as_millis_f64(), j.slo.as_millis_f64())
+                .max(1e-3)
+        })
+        .collect();
+    let total_demand: f64 = demands.iter().sum();
+
+    jobs.iter()
+        .zip(&demands)
+        .map(|(j, d)| {
+            let gpu = (session_pool * d / total_demand).clamp(1e-3, 1.0);
+            let (batch, _) = profiler.optimal_batch_at(&j.cost, j.requests, gpu);
+            JobSpace {
+                app: j.app,
+                gpu,
+                batch,
+            }
+        })
+        .collect()
+}
+
+/// §6 "Design Challenge" extension: decide the batch size and required
+/// fraction **jointly** — for every batch candidate, invert the
+/// regression from that batch's own full-GPU worst case, and keep the
+/// `(batch, fraction)` pair with the smallest fraction that meets the
+/// SLO. No post-allocation re-adjustment is needed.
+pub fn divide_space_joint(
+    jobs: &[JobDemand],
+    total_gpus: f64,
+    avg_job_time: SimDuration,
+    profiler: &Profiler,
+) -> Vec<JobSpace> {
+    use adainf_gpusim::latency::BATCH_CANDIDATES;
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let s = (avg_job_time.as_millis_f64() / SESSION.as_millis_f64()).max(1.0);
+    let session_pool = total_gpus / s;
+
+    let choices: Vec<(f64, u32)> = jobs
+        .iter()
+        .map(|j| {
+            BATCH_CANDIDATES
+                .iter()
+                .map(|&b| {
+                    let full = profiler.worst_case_full(&j.cost, j.requests, b);
+                    let g = profiler
+                        .scaler
+                        .required_fraction(full.as_millis_f64(), j.slo.as_millis_f64())
+                        .max(1e-3);
+                    (g, b)
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"))
+                .expect("candidates non-empty")
+        })
+        .collect();
+    let total_demand: f64 = choices.iter().map(|(g, _)| g).sum();
+
+    jobs.iter()
+        .zip(&choices)
+        .map(|(j, &(g, batch))| JobSpace {
+            app: j.app,
+            gpu: (session_pool * g / total_demand).clamp(1e-3, 1.0),
+            batch,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(app: usize, requests: u32, flops: f64, slo_ms: u64) -> JobDemand {
+        JobDemand {
+            app,
+            requests,
+            cost: StructureCost {
+                flops_per_sample: flops,
+                activation_bytes: 2.0e6 * flops / 1.5e8,
+                param_bytes: 3.0e7,
+            },
+            slo: SimDuration::from_millis(slo_ms),
+        }
+    }
+
+    #[test]
+    fn heavier_jobs_get_more_space() {
+        let p = Profiler::default();
+        let jobs = vec![
+            demand(0, 32, 1.5e8, 400),
+            demand(1, 32, 3.0e7, 400), // 5× lighter
+        ];
+        let div = divide_space(&jobs, 4.0, SimDuration::from_millis(100), true, &p);
+        assert_eq!(div.len(), 2);
+        assert!(
+            div[0].gpu > div[1].gpu * 1.5,
+            "heavy {} vs light {}",
+            div[0].gpu,
+            div[1].gpu
+        );
+    }
+
+    #[test]
+    fn tighter_slo_gets_more_space() {
+        let p = Profiler::default();
+        let jobs = vec![demand(0, 32, 1.5e8, 400), demand(1, 32, 1.5e8, 600)];
+        let div = divide_space(&jobs, 4.0, SimDuration::from_millis(100), true, &p);
+        assert!(div[0].gpu > div[1].gpu);
+    }
+
+    #[test]
+    fn even_split_when_not_slo_aware() {
+        let p = Profiler::default();
+        let jobs = vec![demand(0, 32, 1.5e8, 400), demand(1, 32, 1.0e7, 600)];
+        let div = divide_space(&jobs, 4.0, SimDuration::from_millis(100), false, &p);
+        assert!((div[0].gpu - div[1].gpu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_concurrency_means_smaller_pool() {
+        let p = Profiler::default();
+        let jobs = vec![demand(0, 32, 1.5e8, 400)];
+        let short = divide_space(&jobs, 4.0, SimDuration::from_millis(20), true, &p);
+        let long = divide_space(&jobs, 4.0, SimDuration::from_millis(400), true, &p);
+        assert!(short[0].gpu > long[0].gpu);
+    }
+
+    #[test]
+    fn batch_adapts_to_allocation() {
+        let p = Profiler::default();
+        // A job alone on a big server gets a large fraction → batch 16;
+        // squeezed among many concurrent sessions → smaller batch.
+        let jobs = vec![demand(0, 64, 1.5e8, 400)];
+        let roomy = divide_space(&jobs, 8.0, SimDuration::from_millis(10), true, &p);
+        let tight = divide_space(&jobs, 1.0, SimDuration::from_millis(500), true, &p);
+        assert!(roomy[0].batch >= tight[0].batch);
+        assert!(tight[0].batch >= 1);
+    }
+
+    #[test]
+    fn empty_jobs_yield_empty_division() {
+        let p = Profiler::default();
+        assert!(divide_space(&[], 4.0, SimDuration::from_millis(100), true, &p).is_empty());
+        assert!(divide_space_joint(&[], 4.0, SimDuration::from_millis(100), &p).is_empty());
+    }
+
+    #[test]
+    fn joint_division_allocates_comparable_space() {
+        // The one-shot decision should land near the two-step result for
+        // typical jobs (the two approaches only diverge when the batch
+        // re-adjustment would change the choice a lot).
+        let p = Profiler::default();
+        let jobs = vec![demand(0, 32, 1.5e8, 400), demand(1, 32, 6.0e7, 500)];
+        let two_step = divide_space(&jobs, 4.0, SimDuration::from_millis(100), true, &p);
+        let joint = divide_space_joint(&jobs, 4.0, SimDuration::from_millis(100), &p);
+        for (a, b) in two_step.iter().zip(&joint) {
+            assert_eq!(a.app, b.app);
+            assert!(b.gpu > 0.0 && b.gpu <= 1.0);
+            assert!(
+                (a.gpu - b.gpu).abs() < a.gpu.max(b.gpu),
+                "two-step {} vs joint {}",
+                a.gpu,
+                b.gpu
+            );
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! GPU time division among the DAG vertices of an application (§3.3.2).
+//!
+//! Given a job's allocated space, AdaInf:
+//!
+//! 1. chooses an early-exit structure per inference task — the full
+//!    structure for models not being retrained; otherwise the cheapest
+//!    structure whose (period-refreshed) accuracy clears the threshold
+//!    `A_m` — leaving more SLO time for retraining (Obs. 4);
+//! 2. re-adjusts the request batch size for the chosen structure (Obs. 6);
+//! 3. computes the total inference time `Σ l_k` and the spare time
+//!    `T_r = L_s − Σ l_k`;
+//! 4. splits `T_r` among the retraining tasks in proportion to their
+//!    impact degrees and converts each share into a retraining setting
+//!    (samples, batch, epochs) via the offline profiles.
+
+use crate::config::AdaInfConfig;
+use crate::plan::RetrainSlice;
+use crate::profiler::Profiler;
+use crate::ridag::RiDag;
+use adainf_apps::AppSpec;
+use adainf_gpusim::{EvictionPolicyKind, ExecMode};
+use adainf_simcore::SimDuration;
+
+/// The outcome of time division for one job.
+#[derive(Clone, Debug)]
+pub struct TimeAllocation {
+    /// Structure cut per DAG node.
+    pub cuts: Vec<usize>,
+    /// Re-adjusted request batch size.
+    pub batch: u32,
+    /// Estimated total inference time of the job.
+    pub inference_time: SimDuration,
+    /// Retraining slices, one per impacted model with budget > 0.
+    pub slices: Vec<RetrainSlice>,
+}
+
+/// The memory-strategy pair implied by an AdaInf configuration.
+pub fn strategies(config: &AdaInfConfig) -> (ExecMode, EvictionPolicyKind) {
+    let mode = if config.maximize_memory_usage {
+        ExecMode::LayerGrouped
+    } else {
+        ExecMode::PerRequest
+    };
+    let policy = if config.priority_eviction {
+        EvictionPolicyKind::Priority
+    } else {
+        EvictionPolicyKind::Lru
+    };
+    (mode, policy)
+}
+
+/// Divides the job's SLO time. `accuracy(node, cut)` is the scheduler's
+/// period-refreshed structure-accuracy snapshot; `initial_acc[node]` is
+/// `I_m`; `pool_remaining[node]` bounds the retraining samples available.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_time(
+    app: &AppSpec,
+    ridag: &RiDag,
+    accuracy: &dyn Fn(usize, usize) -> f64,
+    initial_acc: &[f64],
+    gpu: f64,
+    requests: u32,
+    pool_remaining: &[usize],
+    config: &AdaInfConfig,
+    profiler: &Profiler,
+) -> TimeAllocation {
+    let (mode, policy) = strategies(config);
+
+    // 1. Structure selection per node.
+    let cuts: Vec<usize> = app
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(node, nspec)| {
+            let full = nspec.profile.full_cut();
+            if !config.use_early_exit || !ridag.retrains(node) {
+                // "If there is no retraining task vertex … AdaInf uses the
+                // full structure since it does not need to save time."
+                return full;
+            }
+            let threshold = config.a_m * initial_acc[node];
+            // Exit points are depth-ordered, so the first passing cut is
+            // the cheapest (lowest per-batch latency).
+            nspec
+                .profile
+                .exit_points()
+                .into_iter()
+                .find(|&cut| accuracy(node, cut) >= threshold)
+                .unwrap_or(full)
+        })
+        .collect();
+
+    // 2. Batch re-adjustment for the chosen structure.
+    let dag_cost = app.structure_cost(&cuts);
+    let (batch, _) = profiler.optimal_batch_at(&dag_cost, requests.max(1), gpu);
+
+    // 3. Inference time and spare time.
+    let inference_time =
+        profiler.inference_latency(&dag_cost, requests, batch, gpu, mode, policy);
+    let spare = if config.retraining_enabled {
+        app.slo.saturating_sub(inference_time)
+    } else {
+        SimDuration::ZERO
+    };
+
+    // 4. Impact-proportional split into retraining settings.
+    let mut slices = Vec::new();
+    if spare > SimDuration::ZERO && !ridag.entries.is_empty() {
+        let total_impact = ridag.total_impact();
+        let k = ridag.entries.len() as f64;
+        for entry in &ridag.entries {
+            let share = if config.use_impact_degrees && total_impact > 0.0 {
+                entry.impact / total_impact
+            } else {
+                1.0 / k
+            };
+            let budget = spare.mul_f64(share);
+            // Retraining always trains the full model; the setting's
+            // batch size is chosen for the allocated fraction (a batch
+            // past the space's saturation knee would waste the budget).
+            let cost = app.nodes[entry.node].profile.full_cost();
+            let batch = profiler.best_train_batch(&cost, gpu);
+            let fit = profiler.samples_within(&cost, batch, gpu, budget);
+            let samples = fit.min(pool_remaining[entry.node] as u32);
+            if samples == 0 {
+                continue;
+            }
+            slices.push(RetrainSlice {
+                node: entry.node,
+                time: budget,
+                samples,
+                batch,
+                epochs: config.retrain_epochs,
+            });
+        }
+    }
+
+    TimeAllocation {
+        cuts,
+        batch,
+        inference_time,
+        slices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift_detect::DriftReport;
+    use adainf_apps::catalog;
+
+    fn surveillance_setup() -> (AppSpec, RiDag) {
+        let app = catalog::video_surveillance(0);
+        let report = DriftReport {
+            impacted: vec![(1, 0.12), (2, 0.04)],
+            final_s: 0.18,
+            trace: Vec::new(),
+        };
+        let dag = RiDag::build(&app, &report);
+        (app, dag)
+    }
+
+    /// An accuracy oracle where every cut retains 95 % of initial
+    /// accuracy except the shallowest, which drops to 70 %.
+    fn acc_fn(app: &AppSpec) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |node, cut| {
+            let first = app.nodes[node].profile.exit_points()[0];
+            if cut == first {
+                0.70
+            } else {
+                0.95
+            }
+        }
+    }
+
+    #[test]
+    fn unimpacted_models_use_full_structure() {
+        let (app, dag) = surveillance_setup();
+        let p = Profiler::default();
+        let alloc = allocate_time(
+            &app,
+            &dag,
+            &acc_fn(&app),
+            &[0.95, 0.95, 0.95],
+            0.3,
+            32,
+            &[1000, 1000, 1000],
+            &AdaInfConfig::default(),
+            &p,
+        );
+        // Node 0 (not retrained) must use its full structure; impacted
+        // nodes must pick an early exit clearing A_m (skipping the 70 %
+        // shallowest exit).
+        assert_eq!(alloc.cuts[0], app.nodes[0].profile.full_cut());
+        let exits1 = app.nodes[1].profile.exit_points();
+        assert_eq!(alloc.cuts[1], exits1[1], "should skip the failing exit");
+        assert!(alloc.cuts[1] < app.nodes[1].profile.full_cut());
+    }
+
+    #[test]
+    fn spare_time_split_follows_impact() {
+        let (app, dag) = surveillance_setup();
+        let p = Profiler::default();
+        let alloc = allocate_time(
+            &app,
+            &dag,
+            &acc_fn(&app),
+            &[0.95, 0.95, 0.95],
+            0.3,
+            16,
+            &[100_000, 100_000, 100_000],
+            &AdaInfConfig::default(),
+            &p,
+        );
+        assert_eq!(alloc.slices.len(), 2);
+        let s1 = alloc.slices.iter().find(|s| s.node == 1).unwrap();
+        let s2 = alloc.slices.iter().find(|s| s.node == 2).unwrap();
+        // Impact 0.12 vs 0.04 → 3:1 time split.
+        let ratio = s1.time.as_millis_f64() / s2.time.as_millis_f64();
+        assert!((ratio - 3.0).abs() < 0.05, "ratio {ratio}");
+        // The budgets must fit inside the SLO spare time.
+        let total: f64 = alloc.slices.iter().map(|s| s.time.as_millis_f64()).sum();
+        assert!(
+            total <= app.slo.as_millis_f64() - alloc.inference_time.as_millis_f64() + 0.01
+        );
+    }
+
+    #[test]
+    fn variant_i_splits_evenly() {
+        let (app, dag) = surveillance_setup();
+        let p = Profiler::default();
+        let alloc = allocate_time(
+            &app,
+            &dag,
+            &acc_fn(&app),
+            &[0.95, 0.95, 0.95],
+            0.3,
+            16,
+            &[100_000, 100_000, 100_000],
+            &AdaInfConfig::variant_i(),
+            &p,
+        );
+        let times: Vec<f64> = alloc.slices.iter().map(|s| s.time.as_millis_f64()).collect();
+        assert!((times[0] - times[1]).abs() < 0.01, "{times:?}");
+    }
+
+    #[test]
+    fn variant_e_uses_full_structures() {
+        let (app, dag) = surveillance_setup();
+        let p = Profiler::default();
+        let alloc = allocate_time(
+            &app,
+            &dag,
+            &acc_fn(&app),
+            &[0.95, 0.95, 0.95],
+            0.3,
+            16,
+            &[1000, 1000, 1000],
+            &AdaInfConfig::variant_e(),
+            &p,
+        );
+        assert_eq!(alloc.cuts, app.full_cuts());
+    }
+
+    #[test]
+    fn pool_exhaustion_limits_samples() {
+        let (app, dag) = surveillance_setup();
+        let p = Profiler::default();
+        let alloc = allocate_time(
+            &app,
+            &dag,
+            &acc_fn(&app),
+            &[0.95, 0.95, 0.95],
+            0.3,
+            16,
+            &[5, 0, 0],
+            &AdaInfConfig::default(),
+            &p,
+        );
+        // Pools for nodes 1 and 2 are empty → no slices at all.
+        assert!(alloc.slices.is_empty(), "{:?}", alloc.slices);
+    }
+
+    #[test]
+    fn no_retraining_when_disabled() {
+        let (app, dag) = surveillance_setup();
+        let p = Profiler::default();
+        let alloc = allocate_time(
+            &app,
+            &dag,
+            &acc_fn(&app),
+            &[0.95, 0.95, 0.95],
+            0.3,
+            16,
+            &[1000, 1000, 1000],
+            &AdaInfConfig::early_without_retraining(),
+            &p,
+        );
+        assert!(alloc.slices.is_empty());
+        // Early exits still used (it is "Early"-w/o).
+        assert!(alloc.cuts[1] < app.nodes[1].profile.full_cut());
+    }
+
+    #[test]
+    fn overloaded_job_gets_no_spare_time() {
+        let (app, dag) = surveillance_setup();
+        let p = Profiler::default();
+        // A tiny fraction with a large job: inference exceeds the SLO.
+        let alloc = allocate_time(
+            &app,
+            &dag,
+            &acc_fn(&app),
+            &[0.95, 0.95, 0.95],
+            0.005,
+            256,
+            &[1000, 1000, 1000],
+            &AdaInfConfig::default(),
+            &p,
+        );
+        assert!(alloc.inference_time > app.slo);
+        assert!(alloc.slices.is_empty());
+    }
+}

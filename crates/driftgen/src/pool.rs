@@ -1,0 +1,176 @@
+//! Per-period retraining sample pools.
+//!
+//! At each period boundary, the inference requests received during the
+//! previous period — labelled by the golden model — become the new
+//! training data (§1, §3.2). A [`RetrainPool`] holds that data for one
+//! model, tracks which samples have already been consumed by retraining
+//! slices (so concurrent jobs "do not use retraining samples that have
+//! been used or are being used by other jobs", §3.3.2), and hands out
+//! samples in a caller-supplied priority order (AdaInf orders them by
+//! deviation from the old data; baselines use arrival order).
+
+use crate::stream::LabeledSamples;
+
+/// The retraining sample pool of one model for the current period.
+///
+/// ```
+/// use adainf_driftgen::{RetrainPool, TaskStream, TaskStreamConfig};
+/// use adainf_simcore::Prng;
+/// let root = Prng::new(1);
+/// let mut stream = TaskStream::new(TaskStreamConfig::new("demo", 4, 0), &root);
+/// let mut pool = RetrainPool::new(stream.sample(100));
+/// let slice = pool.take(30);
+/// assert_eq!(slice.len(), 30);
+/// assert_eq!(pool.remaining(), 70);
+/// assert!((pool.used_fraction() - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RetrainPool {
+    samples: LabeledSamples,
+    /// Sample indices in consumption order (highest priority first).
+    order: Vec<usize>,
+    /// How many of `order` have been consumed.
+    cursor: usize,
+}
+
+impl RetrainPool {
+    /// Creates a pool over `samples`, consumed in arrival order until
+    /// [`Self::set_order`] installs a different priority.
+    pub fn new(samples: LabeledSamples) -> Self {
+        let order = (0..samples.len()).collect();
+        RetrainPool {
+            samples,
+            order,
+            cursor: 0,
+        }
+    }
+
+    /// An empty pool (models unaffected by drift are not retrained).
+    pub fn empty() -> Self {
+        RetrainPool::new(LabeledSamples {
+            inputs: adainf_nn::Matrix::zeros(0, 1),
+            labels: Vec::new(),
+        })
+    }
+
+    /// Total number of samples in the pool.
+    pub fn total(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Samples not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.order.len() - self.cursor
+    }
+
+    /// Samples already consumed.
+    pub fn used(&self) -> usize {
+        self.cursor
+    }
+
+    /// Fraction of the pool consumed so far (0 when the pool is empty).
+    pub fn used_fraction(&self) -> f64 {
+        if self.order.is_empty() {
+            0.0
+        } else {
+            self.cursor as f64 / self.order.len() as f64
+        }
+    }
+
+    /// Read-only access to the underlying samples.
+    pub fn samples(&self) -> &LabeledSamples {
+        &self.samples
+    }
+
+    /// Installs a consumption priority over the *unconsumed* portion of
+    /// the pool. `priority` must be a permutation of `0..total()`;
+    /// already-consumed samples keep their position at the front.
+    ///
+    /// # Panics
+    /// Panics if `priority` is not a permutation of the full index range.
+    pub fn set_order(&mut self, priority: &[usize]) {
+        assert_eq!(priority.len(), self.samples.len(), "order length mismatch");
+        let mut seen = vec![false; self.samples.len()];
+        for &i in priority {
+            assert!(i < self.samples.len() && !seen[i], "not a permutation");
+            seen[i] = true;
+        }
+        let consumed: std::collections::HashSet<usize> =
+            self.order[..self.cursor].iter().copied().collect();
+        let mut new_order: Vec<usize> = self.order[..self.cursor].to_vec();
+        new_order.extend(priority.iter().copied().filter(|i| !consumed.contains(i)));
+        self.order = new_order;
+    }
+
+    /// Takes up to `n` samples off the front of the priority order,
+    /// marking them consumed. Returns an empty batch when exhausted.
+    pub fn take(&mut self, n: usize) -> LabeledSamples {
+        let end = self.cursor.saturating_add(n).min(self.order.len());
+        let indices = &self.order[self.cursor..end];
+        let batch = self.samples.select(indices);
+        self.cursor = end;
+        batch
+    }
+
+    /// Peeks at the next `n` sample indices without consuming them.
+    pub fn peek_indices(&self, n: usize) -> &[usize] {
+        let end = self.cursor.saturating_add(n).min(self.order.len());
+        &self.order[self.cursor..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{TaskStream, TaskStreamConfig};
+    use adainf_simcore::Prng;
+
+    fn pool_of(n: usize) -> RetrainPool {
+        let root = Prng::new(4);
+        let mut s = TaskStream::new(TaskStreamConfig::new("t", 3, 1), &root);
+        RetrainPool::new(s.sample(n))
+    }
+
+    #[test]
+    fn take_consumes_without_repeats() {
+        let mut p = pool_of(10);
+        let a = p.take(4);
+        let b = p.take(4);
+        let c = p.take(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(c.len(), 2); // exhausted
+        assert_eq!(p.remaining(), 0);
+        assert_eq!(p.used(), 10);
+        assert!((p.used_fraction() - 1.0).abs() < 1e-12);
+        assert!(p.take(1).is_empty());
+    }
+
+    #[test]
+    fn set_order_prioritises_unconsumed() {
+        let mut p = pool_of(6);
+        let first = p.take(2); // consumes order[0..2] = samples 0,1
+        assert_eq!(first.len(), 2);
+        // Now prioritise sample 5 first.
+        p.set_order(&[5, 4, 3, 2, 1, 0]);
+        let next = p.take(1);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next.labels[0], p.samples().labels[5]);
+        assert_eq!(next.inputs.row(0), p.samples().inputs.row(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_order_panics() {
+        let mut p = pool_of(3);
+        p.set_order(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_pool_is_inert() {
+        let mut p = RetrainPool::empty();
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.used_fraction(), 0.0);
+        assert!(p.take(5).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! PCIe transfer-bus contention.
+//!
+//! The memory manager's default costing charges each CPU–GPU transfer at
+//! the link's nominal bandwidth, independent of what else is moving. On a
+//! real server, concurrent `cudaMemcpyAsync` streams share the PCIe
+//! links: under heavy eviction traffic every transfer slows down. The
+//! [`TransferBus`] tracks recent utilization in fixed windows and inflates
+//! the effective cost of a transfer by the load factor of its window —
+//! an optional fidelity upgrade for the detailed engine (off by default
+//! so the headline calibration is unchanged).
+
+use adainf_simcore::{SimDuration, SimTime};
+
+/// A shared transfer bus with windowed utilization accounting.
+#[derive(Clone, Debug)]
+pub struct TransferBus {
+    /// Nominal bandwidth, bytes/s.
+    bandwidth: f64,
+    /// Accounting window width.
+    window: SimDuration,
+    /// Busy time accumulated per window index.
+    busy_us: Vec<f64>,
+}
+
+impl TransferBus {
+    /// Creates a bus with the given nominal bandwidth and a 1 ms
+    /// accounting window.
+    pub fn new(bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        TransferBus {
+            bandwidth,
+            window: SimDuration::from_millis(1),
+            busy_us: Vec::new(),
+        }
+    }
+
+    /// Nominal (uncontended) duration of moving `bytes`.
+    pub fn nominal(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_millis_f64(bytes as f64 / self.bandwidth * 1e3)
+    }
+
+    /// Current load factor of the window containing `at`: busy time over
+    /// window width, 0 when idle.
+    pub fn load_at(&self, at: SimTime) -> f64 {
+        let idx = (at.as_micros() / self.window.as_micros()) as usize;
+        let busy = self.busy_us.get(idx).copied().unwrap_or(0.0);
+        busy / self.window.as_micros() as f64
+    }
+
+    /// Charges a transfer of `bytes` starting at `at`: the effective
+    /// duration is the nominal one inflated by `1 + load`, and the bus's
+    /// busy time is advanced by the nominal duration (the physical bytes
+    /// on the wire).
+    pub fn charge(&mut self, bytes: u64, at: SimTime) -> SimDuration {
+        let nominal = self.nominal(bytes);
+        let load = self.load_at(at);
+        // Record busy time across the windows the nominal transfer spans.
+        let mut t = at.as_micros();
+        let end = t + nominal.as_micros();
+        while t < end {
+            let idx = (t / self.window.as_micros()) as usize;
+            let window_end = (idx as u64 + 1) * self.window.as_micros();
+            let span = window_end.min(end) - t;
+            if idx >= self.busy_us.len() {
+                self.busy_us.resize(idx + 1, 0.0);
+            }
+            self.busy_us[idx] += span as f64;
+            t = window_end.min(end);
+        }
+        nominal.mul_f64(1.0 + load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bus_charges_nominal() {
+        let mut bus = TransferBus::new(1.0e9); // 1 GB/s → 1 µs per KB
+        let t = bus.charge(1_000_000, SimTime::ZERO);
+        assert_eq!(t, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn contention_inflates_cost() {
+        let mut bus = TransferBus::new(1.0e9);
+        // Saturate the first window: 1 ms of traffic in a 1 ms window.
+        bus.charge(1_000_000, SimTime::ZERO);
+        let loaded = bus.charge(1_000_000, SimTime::from_micros(100));
+        assert!(
+            loaded > SimDuration::from_millis(1),
+            "expected inflation, got {loaded:?}"
+        );
+        // Far in the future the bus is idle again.
+        let later = bus.charge(1_000_000, SimTime::from_secs(1));
+        assert_eq!(later, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn load_factor_monotone_in_traffic() {
+        let mut bus = TransferBus::new(1.0e9);
+        let l0 = bus.load_at(SimTime::ZERO);
+        bus.charge(500_000, SimTime::ZERO);
+        let l1 = bus.load_at(SimTime::from_micros(10));
+        bus.charge(500_000, SimTime::from_micros(20));
+        let l2 = bus.load_at(SimTime::from_micros(30));
+        assert!(l0 < l1 && l1 < l2, "{l0} {l1} {l2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        TransferBus::new(0.0);
+    }
+}

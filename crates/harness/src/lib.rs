@@ -1,0 +1,32 @@
+//! # adainf-harness
+//!
+//! The end-to-end experiment driver: it deploys an application set on a
+//! simulated edge server, runs a scheduler (AdaInf, one of its ablation
+//! variants, Ekya, or Scrooge) session by session for a configurable
+//! horizon, executes every job against the GPU latency/memory model,
+//! applies retraining slices and bulk retraining to the real model heads,
+//! and collects the metric streams every figure and table of the paper is
+//! built from.
+//!
+//! * [`sim`] — the simulation loop ([`sim::Simulation`], [`sim::RunConfig`]).
+//! * [`metrics`] — [`metrics::RunMetrics`]: per-period accuracy (overall,
+//!   per app, per node), 1 s finish-rate windows, updated-model shares,
+//!   retraining-time/sample bookkeeping, latency stats, utilization,
+//!   overheads.
+//! * [`experiments`] — one entry point per figure/table of the paper,
+//!   used by the `adainf-bench` regenerator binaries.
+//! * [`report`] — plain-text/markdown/JSON emitters for the regenerated
+//!   tables and series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod parallel;
+pub mod report;
+pub mod sim;
+
+pub use metrics::RunMetrics;
+pub use parallel::run_many;
+pub use sim::{Method, RunConfig, Simulation};

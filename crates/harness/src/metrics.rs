@@ -1,0 +1,253 @@
+//! Metric collection for one simulation run.
+
+use adainf_simcore::time::PERIOD;
+use adainf_simcore::{
+    Histogram, OnlineStats, PeriodSeries, SimDuration, SimTime, WindowSeries,
+};
+use serde::Serialize;
+
+/// Everything measured during one run. All series are indexed by
+/// simulated time; the paper's figures are projections of these streams.
+pub struct RunMetrics {
+    /// Method name.
+    pub name: String,
+    /// Request-weighted accuracy per period, pooled over applications —
+    /// Figs 4a, 7a, 18, 22a.
+    pub accuracy: PeriodSeries,
+    /// Request-weighted accuracy per 5 s window — the intra-period
+    /// recovery trajectory behind Fig 3's incremental-retraining story.
+    pub accuracy_fine: WindowSeries,
+    /// Per-application accuracy per period.
+    pub per_app_accuracy: Vec<PeriodSeries>,
+    /// Per-(application, node) accuracy per period — Fig 5.
+    pub per_node_accuracy: Vec<Vec<PeriodSeries>>,
+    /// SLO finish rate per 1 s window — Figs 19, 22b.
+    pub finish: WindowSeries,
+    /// Share of requests served by a model already retrained in the
+    /// current period — Fig 4b.
+    pub updated_model: PeriodSeries,
+    /// GPU time spent retraining per period (seconds·GPU) — Fig 7b.
+    pub retrain_gpu_seconds: Vec<f64>,
+    /// Fraction of each period's retraining pools consumed — Fig 7b.
+    pub samples_used: Vec<f64>,
+    /// Per-job end-to-end inference latency (ms) — Fig 20.
+    pub inference_latency: OnlineStats,
+    /// Per-job retraining-slice time (ms; bulk retraining recorded as its
+    /// full duration) — Fig 20.
+    pub retrain_latency: OnlineStats,
+    /// nvidia-smi-style utilization per second (fraction of seconds with
+    /// kernels resident) — Fig 21.
+    pub utilization: Vec<f64>,
+    /// True mean GPU allocation per second (load), for EXPERIMENTS.md.
+    pub allocation: Vec<f64>,
+    /// Label distribution per (app, node, period) — Fig 6 JS divergence.
+    pub label_distributions: Vec<Vec<Vec<Vec<f64>>>>,
+    /// Measured wall-clock of period planning (Table 1, "DAG update").
+    pub period_overhead: OnlineStats,
+    /// Measured wall-clock per session scheduling call (Table 1).
+    pub sched_overhead: OnlineStats,
+    /// Total bytes shipped between edge and cloud (Table 1).
+    pub edge_cloud_bytes: u64,
+    /// Total requests served.
+    pub total_requests: u64,
+    /// Retraining samples consumed per (app, node), cumulative.
+    pub retrain_samples: Vec<Vec<u64>>,
+    /// Per-application end-to-end job latency histogram (0–2000 ms).
+    pub per_app_latency: Vec<Histogram>,
+    /// Diagnostics: per-job allocated GPU fraction.
+    pub diag_gpu: OnlineStats,
+    /// Diagnostics: free GPUs seen at plan time.
+    pub diag_free: OnlineStats,
+    /// Diagnostics: retraining samples planned per job.
+    pub diag_planned: OnlineStats,
+    /// Diagnostics: retraining samples actually taken per job.
+    pub diag_taken: OnlineStats,
+}
+
+impl RunMetrics {
+    /// Creates empty metrics for `apps` applications with the given
+    /// per-app node counts.
+    pub fn new(name: String, node_counts: &[usize]) -> Self {
+        RunMetrics {
+            name,
+            accuracy: PeriodSeries::new(),
+            accuracy_fine: WindowSeries::new(SimDuration::from_secs(5)),
+            per_app_accuracy: node_counts.iter().map(|_| PeriodSeries::new()).collect(),
+            per_node_accuracy: node_counts
+                .iter()
+                .map(|&n| (0..n).map(|_| PeriodSeries::new()).collect())
+                .collect(),
+            finish: WindowSeries::new(SimDuration::from_secs(1)),
+            updated_model: PeriodSeries::new(),
+            retrain_gpu_seconds: Vec::new(),
+            samples_used: Vec::new(),
+            inference_latency: OnlineStats::new(),
+            retrain_latency: OnlineStats::new(),
+            utilization: Vec::new(),
+            allocation: Vec::new(),
+            label_distributions: node_counts
+                .iter()
+                .map(|&n| (0..n).map(|_| Vec::new()).collect())
+                .collect(),
+            period_overhead: OnlineStats::new(),
+            sched_overhead: OnlineStats::new(),
+            edge_cloud_bytes: 0,
+            total_requests: 0,
+            retrain_samples: node_counts.iter().map(|&n| vec![0; n]).collect(),
+            per_app_latency: node_counts
+                .iter()
+                .map(|_| Histogram::new(0.0, 2000.0, 400))
+                .collect(),
+            diag_gpu: OnlineStats::new(),
+            diag_free: OnlineStats::new(),
+            diag_planned: OnlineStats::new(),
+            diag_taken: OnlineStats::new(),
+        }
+    }
+
+    /// Accumulates retraining GPU time at `at`.
+    pub fn add_retrain_gpu_time(&mut self, at: SimTime, gpu_seconds: f64) {
+        let idx = (at.as_micros() / PERIOD.as_micros()) as usize;
+        if idx >= self.retrain_gpu_seconds.len() {
+            self.retrain_gpu_seconds.resize(idx + 1, 0.0);
+        }
+        self.retrain_gpu_seconds[idx] += gpu_seconds;
+    }
+
+    /// Mean accuracy across periods (the headline number of Fig 18).
+    pub fn mean_accuracy(&self) -> f64 {
+        self.accuracy.mean()
+    }
+
+    /// Mean finish rate across 1 s windows (the headline of Fig 19).
+    pub fn mean_finish_rate(&self) -> f64 {
+        self.finish.mean_ratio()
+    }
+
+    /// `(p50, p95, p99)` end-to-end job latency of one application, ms.
+    pub fn latency_percentiles(&self, app: usize) -> (f64, f64, f64) {
+        let h = &self.per_app_latency[app];
+        (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99))
+    }
+
+    /// A compact summary row.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            name: self.name.clone(),
+            mean_accuracy: self.mean_accuracy(),
+            mean_finish_rate: self.mean_finish_rate(),
+            mean_inference_latency_ms: self.inference_latency.mean(),
+            mean_retrain_latency_ms: self.retrain_latency.mean(),
+            mean_utilization: if self.utilization.is_empty() {
+                0.0
+            } else {
+                self.utilization.iter().sum::<f64>() / self.utilization.len() as f64
+            },
+            total_requests: self.total_requests,
+            edge_cloud_gb: self.edge_cloud_bytes as f64 / 1e9,
+            period_overhead_ms: self.period_overhead.mean(),
+            sched_overhead_ms: self.sched_overhead.mean(),
+        }
+    }
+}
+
+/// Full serializable export of a run: the summary plus every series a
+/// figure is built from, so results can be post-processed (plotted,
+/// diffed across builds) without re-running the simulation.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunExport {
+    /// Headline summary.
+    pub summary: Summary,
+    /// Accuracy per 50 s period.
+    pub accuracy_per_period: Vec<Option<f64>>,
+    /// Finish rate per 1 s window.
+    pub finish_per_second: Vec<Option<f64>>,
+    /// Updated-model share per period.
+    pub updated_model_per_period: Vec<Option<f64>>,
+    /// Retraining GPU-seconds per period.
+    pub retrain_gpu_seconds: Vec<f64>,
+    /// Pool consumption per period.
+    pub samples_used: Vec<f64>,
+    /// smi-style utilization per second.
+    pub utilization: Vec<f64>,
+}
+
+impl RunMetrics {
+    /// Builds the full export.
+    pub fn export(&self) -> RunExport {
+        RunExport {
+            summary: self.summary(),
+            accuracy_per_period: self.accuracy.ratios(),
+            finish_per_second: self.finish.ratios(),
+            updated_model_per_period: self.updated_model.ratios(),
+            retrain_gpu_seconds: self.retrain_gpu_seconds.clone(),
+            samples_used: self.samples_used.clone(),
+            utilization: self.utilization.clone(),
+        }
+    }
+
+    /// The full export as pretty JSON.
+    pub fn export_json(&self) -> String {
+        serde_json::to_string_pretty(&self.export()).expect("export serialises")
+    }
+}
+
+/// Serializable run summary (one row of the comparison tables).
+#[derive(Clone, Debug, Serialize)]
+pub struct Summary {
+    /// Method name.
+    pub name: String,
+    /// Mean per-period accuracy.
+    pub mean_accuracy: f64,
+    /// Mean per-second finish rate.
+    pub mean_finish_rate: f64,
+    /// Mean per-job inference latency (ms).
+    pub mean_inference_latency_ms: f64,
+    /// Mean per-job/bulk retraining latency (ms).
+    pub mean_retrain_latency_ms: f64,
+    /// Mean nvidia-smi-style utilization.
+    pub mean_utilization: f64,
+    /// Requests served.
+    pub total_requests: u64,
+    /// Edge–cloud traffic (GB).
+    pub edge_cloud_gb: f64,
+    /// Mean period-planning wall time (ms).
+    pub period_overhead_ms: f64,
+    /// Mean session-scheduling wall time (ms).
+    pub sched_overhead_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrain_time_buckets_by_period() {
+        let mut m = RunMetrics::new("x".into(), &[2]);
+        m.add_retrain_gpu_time(SimTime::from_secs(10), 1.5);
+        m.add_retrain_gpu_time(SimTime::from_secs(40), 0.5);
+        m.add_retrain_gpu_time(SimTime::from_secs(60), 3.0);
+        assert_eq!(m.retrain_gpu_seconds, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn summary_serialises() {
+        let m = RunMetrics::new("AdaInf".into(), &[3, 2]);
+        let s = m.summary();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("AdaInf"));
+    }
+
+    #[test]
+    fn full_export_round_trips_as_json() {
+        let mut m = RunMetrics::new("AdaInf".into(), &[2]);
+        m.accuracy.record(SimTime::from_secs(10), 90.0, 100.0);
+        m.finish.record(SimTime::from_secs(10), 95.0, 100.0);
+        m.add_retrain_gpu_time(SimTime::from_secs(10), 2.5);
+        let json = m.export_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["summary"]["name"], "AdaInf");
+        assert_eq!(v["accuracy_per_period"][0], 0.9);
+        assert_eq!(v["retrain_gpu_seconds"][0], 2.5);
+    }
+}

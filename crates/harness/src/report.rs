@@ -1,0 +1,99 @@
+//! Plain-text table/series emitters for the figure regenerators.
+
+use std::fmt::Write as _;
+
+/// Renders a markdown-style table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            let _ = write!(line, " {c:<w$} |");
+        }
+        line
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push('|');
+    for w in &widths {
+        let _ = write!(out, "{:-<1$}|", "", w + 2);
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a millisecond quantity.
+pub fn ms(x: f64) -> String {
+    format!("{x:.2}ms")
+}
+
+/// Renders rows as CSV with the given headers.
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as aligned two-column text.
+pub fn series(x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![format!("{x:.4}"), format!("{y:.4}")])
+        .collect();
+    table(&[x_label, y_label], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = table(
+            &["method", "accuracy"],
+            &[
+                vec!["AdaInf".into(), "96.4%".into()],
+                vec!["Ekya".into(), "85.0%".into()],
+            ],
+        );
+        assert!(t.contains("| AdaInf"));
+        assert!(t.contains("| method"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_renders() {
+        let c = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.964), "96.4%");
+        assert_eq!(ms(12.345), "12.35ms");
+        let s = series("x", "y", &[(1.0, 2.0)]);
+        assert!(s.contains("1.0000"));
+    }
+}

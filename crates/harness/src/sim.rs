@@ -1,0 +1,770 @@
+//! The end-to-end simulation loop.
+//!
+//! A [`Simulation`] owns the application runtimes (streams + trainable
+//! models), the edge-server description, a scheduler, and the metric
+//! sinks. [`Simulation::run`] advances 5 ms session by session:
+//!
+//! 1. At every 50 s boundary the applications drift, their pools refresh,
+//!    and the scheduler's period hook runs (drift detection / bulk
+//!    retraining plans). Bulk retraining occupies edge GPUs until its
+//!    completion and refreshes the affected model when it lands.
+//! 2. Each session, actual arrivals are drawn per application while the
+//!    scheduler sees only the *predicted* counts (an EWMA of past
+//!    sessions) — the prediction error is why finish rates stay below
+//!    100 % (§5.1).
+//! 3. Each planned job executes: retraining slices consume pool samples
+//!    and run real SGD on the model heads, then the inference tasks'
+//!    latency is computed from the GPU latency model times the
+//!    communication inflation of the job's memory strategies. Requests
+//!    are scored against the golden labels through the current model
+//!    state, batch by batch against the SLO.
+//!
+//! Capacity is enforced: allocations hold their GPU amount until job
+//! completion, and the scheduler sees the remaining free amount.
+
+use crate::metrics::RunMetrics;
+use adainf_apps::{apps_for_count, AppRuntime, AppSpec};
+use adainf_baselines::{EkyaScheduler, ScroogeScheduler};
+use adainf_core::plan::{BulkRetrain, Scheduler, SessionCtx};
+use adainf_core::profiler::{CommProfile, Profiler};
+use adainf_core::{AdaInfConfig, AdaInfScheduler};
+use adainf_driftgen::workload::ArrivalConfig;
+use adainf_driftgen::LabeledSamples;
+use adainf_gpusim::{EdgeServer, GpuSpec, LatencyModel};
+use adainf_simcore::time::{PERIOD, SESSION};
+use adainf_simcore::{Prng, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Which scheduling method a run uses.
+#[derive(Clone, Debug)]
+pub enum Method {
+    /// AdaInf or one of its ablation variants / references.
+    AdaInf(AdaInfConfig),
+    /// Ekya \[3\].
+    Ekya,
+    /// Scrooge \[10\] (greedy capacity capping).
+    Scrooge,
+    /// Scrooge* (proportional capacity division).
+    ScroogeStar,
+}
+
+impl Method {
+    /// Display name of the method.
+    pub fn name(&self) -> String {
+        match self {
+            Method::AdaInf(c) => c.variant_name().to_string(),
+            Method::Ekya => "Ekya".to_string(),
+            Method::Scrooge => "Scrooge".to_string(),
+            Method::ScroogeStar => "Scrooge*".to_string(),
+        }
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Root RNG seed — the whole run is a deterministic function of it.
+    pub seed: u64,
+    /// Simulated horizon (the paper uses 1000 s = 20 periods).
+    pub duration: SimDuration,
+    /// Number of edge-server GPUs.
+    pub num_gpus: u32,
+    /// Number of applications (1–14, catalogue order).
+    pub num_apps: usize,
+    /// Mean request rate per application (req/s).
+    pub base_rate: f64,
+    /// Retraining-pool samples per model per period.
+    pub pool_size: usize,
+    /// The scheduling method.
+    pub method: Method,
+    /// Override of the communication-inflation profile (α sweeps re-run
+    /// the offline memory profiling and feed the result in here).
+    pub comm: Option<CommProfile>,
+    /// §6 extension: heterogeneous fleet speed factors (empty = a
+    /// homogeneous fleet of `num_gpus` reference GPUs).
+    pub device_factors: Vec<f64>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 42,
+            duration: SimDuration::from_secs(1000),
+            num_gpus: 4,
+            num_apps: 8,
+            base_rate: 6400.0,
+            pool_size: 6000,
+            method: Method::AdaInf(AdaInfConfig::default()),
+            comm: None,
+            device_factors: Vec::new(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Same run with a different method (for comparisons).
+    pub fn with_method(&self, method: Method) -> RunConfig {
+        RunConfig {
+            method,
+            ..self.clone()
+        }
+    }
+}
+
+/// A bulk retraining registered at a period boundary, with the pool
+/// samples snapshotted at registration time (the data that was shipped /
+/// handed to the trainer).
+struct PendingBulk {
+    plan: BulkRetrain,
+    samples: LabeledSamples,
+    applied: bool,
+}
+
+/// One end-to-end simulation.
+pub struct Simulation {
+    config: RunConfig,
+    specs: Vec<AppSpec>,
+    apps: Vec<AppRuntime>,
+    server: EdgeServer,
+    scheduler: Box<dyn Scheduler>,
+    metrics: RunMetrics,
+    /// The "world" latency law and communication profile (identical to
+    /// the profiler's — offline profiling is accurate in the paper too).
+    latency: LatencyModel,
+    comm: CommProfile,
+    /// (release time µs, milli-GPUs) of in-flight allocations.
+    releases: BinaryHeap<Reverse<(u64, u64)>>,
+    in_use_milli: u64,
+    /// EWMA of job completion time.
+    avg_job_time: SimDuration,
+    /// EWMA of per-app arrivals per session.
+    predicted_ewma: Vec<f64>,
+    pending_bulk: Vec<PendingBulk>,
+    /// Per (app, node): retrained at least once this period.
+    updated_this_period: Vec<Vec<bool>>,
+    /// Per (app, node): scheduled for retraining this period.
+    scheduled_retrain: Vec<Vec<bool>>,
+    /// Per (app, node): staged retraining samples. Tiny per-job slices
+    /// are accumulated here and applied as one SGD step per full batch —
+    /// matching how a training stream accumulates a batch before
+    /// stepping, and keeping the head updates low-noise.
+    stage: Vec<Vec<Vec<LabeledSamples>>>,
+    /// Per (app, node): replay reservoir of samples already trained on
+    /// this period. Each staged flush rehearses a draw from it, the
+    /// standard continual-learning stabiliser (iCaRL \[8\]) — without it,
+    /// sequentially consuming a deviation-ordered pool makes the head
+    /// track whatever the most recent slices looked like.
+    replay: Vec<Vec<LabeledSamples>>,
+    /// Harness-side RNG (replay draws, shuffles).
+    rng: Prng,
+    /// Per-app completion time of the last serial job (queueing for
+    /// `JobPlan::serial` schedulers).
+    serial_free_at: Vec<SimTime>,
+}
+
+/// Staged samples per (app, node) before an SGD step fires.
+const STAGE_THRESHOLD: usize = 64;
+
+/// Replay reservoir capacity per (app, node).
+const REPLAY_CAP: usize = 1024;
+
+impl Simulation {
+    /// Builds a run from its configuration.
+    pub fn new(config: RunConfig) -> Self {
+        let root = Prng::new(config.seed);
+        let specs = apps_for_count(config.num_apps);
+        let arrival = ArrivalConfig {
+            base_rate: config.base_rate,
+            ..ArrivalConfig::default()
+        };
+        let apps: Vec<AppRuntime> = specs
+            .iter()
+            .cloned()
+            .map(|s| AppRuntime::new(s, arrival.clone(), config.pool_size, &root))
+            .collect();
+        let spec_hw = if config.device_factors.is_empty() {
+            GpuSpec::with_gpus(config.num_gpus)
+        } else {
+            GpuSpec::heterogeneous(config.device_factors.clone())
+        };
+        let profiler = match config.comm {
+            Some(comm) => Profiler::new(LatencyModel::default(), comm),
+            None => Profiler::default(),
+        };
+        let scheduler: Box<dyn Scheduler> = match &config.method {
+            Method::AdaInf(c) => Box::new(AdaInfScheduler::new(
+                c.clone(),
+                profiler.clone(),
+                specs.clone(),
+                config.seed,
+            )),
+            Method::Ekya => Box::new(EkyaScheduler::new(profiler.clone(), specs.clone())),
+            Method::Scrooge => {
+                Box::new(ScroogeScheduler::new(profiler.clone(), specs.clone()))
+            }
+            Method::ScroogeStar => {
+                Box::new(ScroogeScheduler::new_star(profiler.clone(), specs.clone()))
+            }
+        };
+        let node_counts: Vec<usize> = specs.iter().map(|s| s.nodes.len()).collect();
+        let n_apps_for_state = specs.len();
+        let metrics = RunMetrics::new(config.method.name(), &node_counts);
+        let updated: Vec<Vec<bool>> =
+            node_counts.iter().map(|&n| vec![false; n]).collect();
+        let stage: Vec<Vec<Vec<LabeledSamples>>> = node_counts
+            .iter()
+            .map(|&n| (0..n).map(|_| Vec::new()).collect())
+            .collect();
+        let replay: Vec<Vec<LabeledSamples>> = node_counts
+            .iter()
+            .map(|&n| {
+                (0..n)
+                    .map(|_| LabeledSamples {
+                        inputs: adainf_nn::Matrix::zeros(0, 1),
+                        labels: Vec::new(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let predicted_ewma =
+            vec![config.base_rate * SESSION.as_secs_f64(); specs.len()];
+        Simulation {
+            specs,
+            apps,
+            server: EdgeServer::new(spec_hw),
+            scheduler,
+            metrics,
+            latency: profiler.latency.clone(),
+            comm: profiler.comm,
+            releases: BinaryHeap::new(),
+            in_use_milli: 0,
+            avg_job_time: SimDuration::from_millis(60),
+            predicted_ewma,
+            pending_bulk: Vec::new(),
+            updated_this_period: updated.clone(),
+            scheduled_retrain: updated,
+            stage,
+            replay,
+            rng: root.split(0x0051_ACE5),
+            serial_free_at: vec![SimTime::ZERO; n_apps_for_state],
+            config,
+        }
+    }
+
+    /// Runs to the horizon and returns the collected metrics.
+    pub fn run(mut self) -> RunMetrics {
+        let sessions = self.config.duration.as_micros() / SESSION.as_micros();
+        for si in 0..sessions {
+            let t = SimTime::from_micros(si * SESSION.as_micros());
+            if t.as_micros().is_multiple_of(PERIOD.as_micros()) {
+                self.on_period_boundary(t);
+            }
+            self.apply_due_bulk(t);
+            self.step_session(t);
+        }
+        self.finalize();
+        self.metrics
+    }
+
+    fn on_period_boundary(&mut self, t: SimTime) {
+        // Close out the previous period's pool accounting before pools
+        // refresh.
+        if t > SimTime::ZERO {
+            // Unapplied bulk retrainings whose data would vanish with the
+            // pool refresh are applied late (their completion slipped
+            // past the period end).
+            for i in 0..self.pending_bulk.len() {
+                if !self.pending_bulk[i].applied {
+                    self.apply_bulk(i);
+                }
+            }
+            self.pending_bulk.clear();
+            for a in 0..self.apps.len() {
+                for node in 0..self.apps[a].spec.nodes.len() {
+                    self.flush_stage(a, node, 1);
+                    self.replay[a][node] = LabeledSamples {
+                        inputs: adainf_nn::Matrix::zeros(0, 1),
+                        labels: Vec::new(),
+                    };
+                }
+            }
+            let mut used = 0.0;
+            let mut total = 0.0;
+            for rt in &self.apps {
+                for pool in &rt.pools {
+                    used += pool.used() as f64;
+                    total += pool.total() as f64;
+                }
+            }
+            self.metrics
+                .samples_used
+                .push(if total > 0.0 { used / total } else { 0.0 });
+            for rt in &mut self.apps {
+                rt.advance_period();
+            }
+        }
+        for (a, rt) in self.apps.iter().enumerate() {
+            for node in 0..rt.spec.nodes.len() {
+                self.metrics.label_distributions[a][node]
+                    .push(rt.label_distribution(node));
+            }
+        }
+        for flags in self.updated_this_period.iter_mut() {
+            flags.iter_mut().for_each(|f| *f = false);
+        }
+
+        let plan = self
+            .scheduler
+            .on_period_start(&mut self.apps, self.server.spec(), t);
+        self.metrics
+            .period_overhead
+            .add(plan.overhead.as_millis_f64());
+        self.metrics.edge_cloud_bytes += plan.edge_cloud_bytes;
+
+        // Which nodes are scheduled for retraining this period: bulk
+        // tasks (Ekya/Scrooge) or RI-DAG entries (AdaInf).
+        for flags in self.scheduled_retrain.iter_mut() {
+            flags.iter_mut().for_each(|f| *f = false);
+        }
+        for (a, app_plan) in plan.apps.iter().enumerate() {
+            for e in &app_plan.ri_entries {
+                self.scheduled_retrain[a][e.node] = true;
+            }
+        }
+        for b in &plan.bulk {
+            self.scheduled_retrain[b.app][b.node] = true;
+        }
+
+        // Register bulk retraining: snapshot the pool data, reserve edge
+        // GPU capacity, account the retraining time.
+        for b in plan.bulk {
+            let cap = if b.sample_cap == 0 {
+                usize::MAX
+            } else {
+                b.sample_cap as usize
+            };
+            let samples = self.apps[b.app].pools[b.node].take(cap);
+            if b.gpu > 0.0 {
+                let hold = b.busy_until.since(t);
+                self.reserve(b.gpu, b.busy_until);
+                self.server.record_busy(t, hold, b.gpu);
+                self.metrics
+                    .add_retrain_gpu_time(t, hold.as_secs_f64() * b.gpu);
+                self.metrics.retrain_latency.add(hold.as_millis_f64());
+            } else {
+                // Cloud retraining: latency recorded, no edge GPU held.
+                self.metrics
+                    .retrain_latency
+                    .add(b.available_at.since(t).as_millis_f64());
+            }
+            self.pending_bulk.push(PendingBulk {
+                plan: b,
+                samples,
+                applied: false,
+            });
+        }
+    }
+
+    fn apply_bulk(&mut self, idx: usize) {
+        let (app, node) = {
+            let p = &self.pending_bulk[idx];
+            (p.plan.app, p.plan.node)
+        };
+        // Two SGD passes capture the accuracy effect of the configured
+        // multi-epoch retraining (the heads converge in 1–2 passes; the
+        // GPU time charged is the scheduler's full setting).
+        let samples = std::mem::replace(
+            &mut self.pending_bulk[idx].samples,
+            LabeledSamples {
+                inputs: adainf_nn::Matrix::zeros(0, 1),
+                labels: Vec::new(),
+            },
+        );
+        if !samples.is_empty() {
+            self.metrics.retrain_samples[app][node] += samples.len() as u64;
+            self.apps[app].models[node].train_slice(&samples, 2);
+        }
+        self.pending_bulk[idx].applied = true;
+        self.updated_this_period[app][node] = true;
+    }
+
+    fn apply_due_bulk(&mut self, t: SimTime) {
+        for i in 0..self.pending_bulk.len() {
+            if !self.pending_bulk[i].applied && self.pending_bulk[i].plan.available_at <= t
+            {
+                self.apply_bulk(i);
+            }
+        }
+    }
+
+    fn reserve(&mut self, gpu: f64, until: SimTime) {
+        let milli = (gpu * 1000.0).round() as u64;
+        self.in_use_milli += milli;
+        self.releases.push(Reverse((until.as_micros(), milli)));
+    }
+
+    fn release_due(&mut self, t: SimTime) {
+        while let Some(Reverse((at, milli))) = self.releases.peek().copied() {
+            if at > t.as_micros() {
+                break;
+            }
+            self.releases.pop();
+            self.in_use_milli = self.in_use_milli.saturating_sub(milli);
+        }
+    }
+
+    fn step_session(&mut self, t: SimTime) {
+        self.release_due(t);
+
+        // Actual arrivals and predictions.
+        let n_apps = self.apps.len();
+        let mut actual = vec![0u32; n_apps];
+        let mut predicted = vec![0u32; n_apps];
+        for a in 0..n_apps {
+            actual[a] = self.apps[a].requests_in_session(t);
+            predicted[a] = self.predicted_ewma[a].round() as u32;
+        }
+
+        let pool_remaining: Vec<Vec<usize>> = self
+            .apps
+            .iter()
+            .map(|rt| rt.pools.iter().map(|p| p.remaining()).collect())
+            .collect();
+        let free = (self.server.spec().total_space()
+            - self.in_use_milli as f64 / 1000.0)
+            .max(0.0);
+        let ctx = SessionCtx {
+            now: t,
+            predicted: &predicted,
+            server: self.server.spec(),
+            free_gpus: free,
+            avg_job_time: self.avg_job_time,
+            pool_remaining: &pool_remaining,
+        };
+        let wall = Instant::now();
+        let plans = self.scheduler.on_session(&ctx);
+        self.metrics
+            .sched_overhead
+            .add(wall.elapsed().as_secs_f64() * 1e3);
+        self.metrics.diag_free.add(free);
+
+        let mut served = vec![false; n_apps];
+        for plan in plans {
+            let app = plan.app;
+            served[app] = true;
+            let n = actual[app];
+            if n == 0 {
+                continue;
+            }
+
+            self.metrics.diag_gpu.add(plan.gpu);
+            self.metrics
+                .diag_planned
+                .add(plan.retrain.iter().map(|s| s.samples as f64).sum());
+
+            // Retraining slices: consume pool, run real SGD, charge time.
+            let mut retrain_time = SimDuration::ZERO;
+            let mut taken_total = 0.0;
+            for slice in &plan.retrain {
+                let batch = self.apps[app].pools[slice.node]
+                    .take(slice.samples as usize);
+                if batch.is_empty() {
+                    continue;
+                }
+                let cost = self.specs[app].nodes[slice.node].profile.full_cost();
+                let time = self.latency.training_latency(
+                    &cost,
+                    batch.len() as u32,
+                    slice.batch,
+                    slice.epochs,
+                    plan.gpu,
+                );
+                taken_total += batch.len() as f64;
+                self.metrics.retrain_samples[app][slice.node] += batch.len() as u64;
+                self.stage_train(app, slice.node, batch, slice.epochs.min(2) as usize);
+                retrain_time += time;
+                self.metrics
+                    .add_retrain_gpu_time(t, time.as_secs_f64() * plan.gpu);
+                self.metrics.retrain_latency.add(time.as_millis_f64());
+                self.updated_this_period[app][slice.node] = true;
+            }
+
+            self.metrics.diag_taken.add(taken_total);
+
+            // Inference execution (host CPU for §6-offloaded jobs).
+            let cost = self.specs[app].structure_cost(&plan.cuts);
+            let inference = if plan.cpu {
+                self.latency.cpu_inference(&cost, n)
+            } else {
+                let inflation = self.comm.inflation(plan.exec, plan.eviction);
+                self.latency
+                    .worst_case(&cost, n, plan.batch, plan.gpu)
+                    .mul_f64(inflation)
+            };
+            // Serial-queue schedulers wait for the app's previous job.
+            // A frame whose queueing delay alone already exceeds the SLO
+            // is *skipped* (real video pipelines shed stale frames rather
+            // than queue without bound): it counts as missed, occupies no
+            // service time, and is not predicted at all.
+            let wait = if plan.serial {
+                let free = self.serial_free_at[app];
+                free.since(t)
+            } else {
+                SimDuration::ZERO
+            };
+            if plan.serial && wait > self.specs[app].slo {
+                self.metrics.finish.record(t, 0.0, n as f64);
+                self.metrics.total_requests += n as u64;
+                continue;
+            }
+            let job_latency = wait + retrain_time + inference;
+            if plan.serial {
+                self.serial_free_at[app] = t + job_latency;
+            }
+
+            // Per-batch SLO accounting (batches complete sequentially).
+            let slo = self.specs[app].slo;
+            let n_batches = n.div_ceil(plan.batch.max(1));
+            let per_batch = SimDuration::from_micros(
+                inference.as_micros() / n_batches.max(1) as u64,
+            );
+            let mut hits = 0u32;
+            for i in 0..n_batches {
+                let done = wait + retrain_time + per_batch * (i as u64 + 1);
+                if done <= slo {
+                    let size = if i + 1 == n_batches && !n.is_multiple_of(plan.batch) {
+                        n % plan.batch
+                    } else {
+                        plan.batch.min(n)
+                    };
+                    hits += size;
+                }
+            }
+            self.metrics.finish.record(t, hits as f64, n as f64);
+            self.metrics
+                .inference_latency
+                .add(inference.as_millis_f64());
+            self.metrics.per_app_latency[app].add(job_latency.as_millis_f64());
+
+            // Accuracy: leaf-node predictions against golden labels.
+            let leaves = self.specs[app].leaves();
+            let mut acc_sum = 0.0;
+            for &leaf in &leaves {
+                let acc = self.apps[app].accuracy(leaf, plan.cuts[leaf]);
+                acc_sum += acc;
+                self.metrics.per_node_accuracy[app][leaf].record(
+                    t,
+                    acc * n as f64,
+                    n as f64,
+                );
+            }
+            // Non-leaf nodes tracked too (Fig 5 includes the detector).
+            for node in 0..self.specs[app].nodes.len() {
+                if !leaves.contains(&node) {
+                    let acc = self.apps[app].accuracy(node, plan.cuts[node]);
+                    self.metrics.per_node_accuracy[app][node].record(
+                        t,
+                        acc * n as f64,
+                        n as f64,
+                    );
+                }
+            }
+            let acc = acc_sum / leaves.len().max(1) as f64;
+            self.metrics.accuracy.record(t, acc * n as f64, n as f64);
+            self.metrics
+                .accuracy_fine
+                .record(t, acc * n as f64, n as f64);
+            self.metrics.per_app_accuracy[app].record(t, acc * n as f64, n as f64);
+
+            // Updated-model share (Fig 4b): among the nodes scheduled for
+            // retraining this period, how many of this job's models are
+            // already refreshed?
+            let scheduled: Vec<usize> = (0..self.specs[app].nodes.len())
+                .filter(|&nd| self.scheduled_retrain[app][nd])
+                .collect();
+            let frac = if scheduled.is_empty() {
+                1.0
+            } else {
+                scheduled
+                    .iter()
+                    .filter(|&&nd| self.updated_this_period[app][nd])
+                    .count() as f64
+                    / scheduled.len() as f64
+            };
+            self.metrics
+                .updated_model
+                .record(t, frac * n as f64, n as f64);
+
+            // Capacity + utilization + job-time EWMA. Serial jobs occupy
+            // the GPU only during their service window, not while queued;
+            // CPU-offloaded jobs hold no GPU at all.
+            let service = retrain_time + inference;
+            if !plan.cpu {
+                self.server.record_busy(t + wait, service, plan.gpu);
+                self.reserve(plan.gpu, t + job_latency);
+            }
+            self.avg_job_time = SimDuration::from_micros(
+                (self.avg_job_time.as_micros() as f64 * 0.95
+                    + service.as_micros() as f64 * 0.05) as u64,
+            );
+            self.metrics.total_requests += n as u64;
+        }
+
+        // Arrivals for apps the scheduler did not plan: SLO misses.
+        for a in 0..n_apps {
+            if !served[a] && actual[a] > 0 {
+                self.metrics.finish.record(t, 0.0, actual[a] as f64);
+            }
+            // Prediction EWMA update.
+            self.predicted_ewma[a] =
+                self.predicted_ewma[a] * 0.7 + actual[a] as f64 * 0.3;
+        }
+    }
+
+    /// Stages a retraining slice; fires an SGD step once a full batch of
+    /// samples has accumulated for the (app, node).
+    fn stage_train(
+        &mut self,
+        app: usize,
+        node: usize,
+        batch: LabeledSamples,
+        epochs: usize,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        self.stage[app][node].push(batch);
+        let total: usize = self.stage[app][node].iter().map(|b| b.len()).sum();
+        if total >= STAGE_THRESHOLD {
+            self.flush_stage(app, node, epochs);
+        }
+    }
+
+    /// Applies any staged samples of (app, node) as one SGD slice,
+    /// rehearsing an equal-sized draw from the replay reservoir and
+    /// shuffling, then folds the new samples into the reservoir.
+    fn flush_stage(&mut self, app: usize, node: usize, epochs: usize) {
+        if self.stage[app][node].is_empty() {
+            return;
+        }
+        let parts = std::mem::take(&mut self.stage[app][node]);
+        let refs: Vec<&LabeledSamples> = parts.iter().collect();
+        let fresh = LabeledSamples::concat(&refs);
+        let reservoir = &self.replay[app][node];
+        let mix = if reservoir.is_empty() {
+            fresh.clone()
+        } else {
+            let draw: Vec<usize> = (0..(fresh.len() / 2).min(reservoir.len()))
+                .map(|_| self.rng.index(reservoir.len()))
+                .collect();
+            LabeledSamples::concat(&[&fresh, &reservoir.select(&draw)])
+        };
+        let mut order: Vec<usize> = (0..mix.len()).collect();
+        self.rng.shuffle(&mut order);
+        let shuffled = mix.select(&order);
+        self.apps[app].models[node].train_slice(&shuffled, epochs.max(1));
+        // Reservoir update: append, then down-sample to the cap.
+        let mut merged = LabeledSamples::concat(&[&self.replay[app][node], &fresh]);
+        if merged.len() > REPLAY_CAP {
+            let mut keep: Vec<usize> = (0..merged.len()).collect();
+            self.rng.shuffle(&mut keep);
+            keep.truncate(REPLAY_CAP);
+            merged = merged.select(&keep);
+        }
+        self.replay[app][node] = merged;
+    }
+
+    fn finalize(&mut self) {
+        let alloc = self.server.utilization_per_second();
+        // nvidia-smi-style utilization: a GPU counts as utilized in any
+        // second in which kernels were resident — with hundreds of
+        // MPS-multiplexed jobs per second this is ~100 % whenever there
+        // is any load at all (Fig 21).
+        self.metrics.utilization = alloc
+            .iter()
+            .map(|&a| if a > 0.005 { 1.0 } else { 0.0 })
+            .collect();
+        self.metrics.allocation = alloc;
+    }
+}
+
+/// Convenience: run one configuration to completion.
+pub fn run(config: RunConfig) -> RunMetrics {
+    Simulation::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(method: Method) -> RunConfig {
+        RunConfig {
+            seed: 9,
+            duration: SimDuration::from_secs(100),
+            num_gpus: 4,
+            num_apps: 2,
+            base_rate: 4000.0,
+            pool_size: 400,
+            method,
+            comm: None,
+            device_factors: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn adainf_run_produces_metrics() {
+        let m = run(tiny(Method::AdaInf(AdaInfConfig::default())));
+        assert_eq!(m.name, "AdaInf");
+        assert!(m.total_requests > 10_000, "requests {}", m.total_requests);
+        assert!(m.mean_accuracy() > 0.5, "accuracy {}", m.mean_accuracy());
+        assert!(
+            m.mean_finish_rate() > 0.5,
+            "finish {}",
+            m.mean_finish_rate()
+        );
+        assert_eq!(m.accuracy.len(), 2, "two periods in 100 s");
+        assert!(!m.utilization.is_empty());
+    }
+
+    #[test]
+    fn ekya_run_produces_metrics() {
+        let m = run(tiny(Method::Ekya));
+        assert_eq!(m.name, "Ekya");
+        assert!(m.total_requests > 10_000);
+        assert!(m.mean_accuracy() > 0.4);
+        // Ekya spends edge GPU time retraining.
+        let retrain: f64 = m.retrain_gpu_seconds.iter().sum();
+        assert!(retrain > 1.0, "retrain gpu-s {retrain}");
+        assert_eq!(m.edge_cloud_bytes, 0);
+    }
+
+    #[test]
+    fn scrooge_ships_data_to_cloud() {
+        let m = run(tiny(Method::Scrooge));
+        assert!(m.edge_cloud_bytes > 1_000_000_000, "{}", m.edge_cloud_bytes);
+        // No edge retraining time from jobs.
+        let retrain: f64 = m.retrain_gpu_seconds.iter().sum();
+        assert_eq!(retrain, 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(tiny(Method::AdaInf(AdaInfConfig::default())));
+        let b = run(tiny(Method::AdaInf(AdaInfConfig::default())));
+        assert_eq!(a.total_requests, b.total_requests);
+        assert!((a.mean_accuracy() - b.mean_accuracy()).abs() < 1e-12);
+        assert!((a.mean_finish_rate() - b.mean_finish_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adainf_consumes_pool_samples() {
+        let m = run(tiny(Method::AdaInf(AdaInfConfig::default())));
+        assert!(
+            !m.samples_used.is_empty() && m.samples_used.iter().any(|&f| f > 0.05),
+            "samples used {:?}",
+            m.samples_used
+        );
+    }
+}

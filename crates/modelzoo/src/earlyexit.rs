@@ -1,0 +1,124 @@
+//! Application-level early-exit structures.
+//!
+//! §2.2: "We created all possible early-exit structures of the
+//! application, where each structure includes an early-exit structure for
+//! each model of the application" — i.e. the Cartesian product of the
+//! per-model exit points. AdaInf's scheduler never enumerates the product
+//! at run time (it chooses per-model, §3.3.2), but the experimental
+//! analysis (Figs 7, 10) and the profiler do.
+
+use crate::profile::ModelProfile;
+
+/// The structure choice for a single model: run layers `0..=cut`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StructureChoice {
+    /// Inclusive cut layer; `profile.full_cut()` means the full structure.
+    pub cut: usize,
+}
+
+/// One early-exit structure of a whole application: a cut per model, in
+/// the application's model (node) order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AppStructure {
+    /// Per-model cuts.
+    pub cuts: Vec<usize>,
+}
+
+impl AppStructure {
+    /// The full structure of an application (no early exits).
+    pub fn full(profiles: &[&ModelProfile]) -> AppStructure {
+        AppStructure {
+            cuts: profiles.iter().map(|p| p.full_cut()).collect(),
+        }
+    }
+}
+
+/// Enumerates every application structure (the Cartesian product of the
+/// per-model exit points). The surveillance application yields
+/// `5 × 6 × 6 = 180` structures with the default zoo profiles; the paper
+/// reports 81 for its hand-built exits — the count depends on exit
+/// granularity, the *space* is what matters.
+pub fn enumerate_structures(profiles: &[&ModelProfile]) -> Vec<AppStructure> {
+    let exit_sets: Vec<Vec<usize>> = profiles.iter().map(|p| p.exit_points()).collect();
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for set in &exit_sets {
+        let mut next = Vec::with_capacity(out.len() * set.len());
+        for prefix in &out {
+            for &cut in set {
+                let mut v = prefix.clone();
+                v.push(cut);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out.into_iter().map(|cuts| AppStructure { cuts }).collect()
+}
+
+/// Picks the cheapest cut of `profile` whose accuracy (per the caller's
+/// oracle) clears `threshold`, falling back to the full structure — the
+/// library-level form of the §3.3.2 structure selection.
+pub fn cheapest_cut_above(
+    profile: &ModelProfile,
+    threshold: f64,
+    accuracy: impl Fn(usize) -> f64,
+) -> usize {
+    profile
+        .exit_points()
+        .into_iter()
+        .find(|&cut| accuracy(cut) >= threshold)
+        .unwrap_or(profile.full_cut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn enumeration_is_cartesian_product() {
+        let yolo = zoo::tiny_yolo_v3();
+        let mob = zoo::mobilenet_v2();
+        let shuf = zoo::shufflenet();
+        let profiles = [&yolo, &mob, &shuf];
+        let structures = enumerate_structures(&profiles);
+        let expect: usize = profiles.iter().map(|p| p.exit_points().len()).product();
+        assert_eq!(structures.len(), expect);
+        // All distinct.
+        let set: std::collections::HashSet<_> = structures.iter().cloned().collect();
+        assert_eq!(set.len(), structures.len());
+        // The full structure is among them.
+        assert!(structures.contains(&AppStructure::full(&profiles)));
+    }
+
+    #[test]
+    fn full_structure_uses_last_layers() {
+        let yolo = zoo::tiny_yolo_v3();
+        let full = AppStructure::full(&[&yolo]);
+        assert_eq!(full.cuts, vec![yolo.full_cut()]);
+    }
+
+    #[test]
+    fn cheapest_cut_respects_threshold() {
+        let yolo = zoo::tiny_yolo_v3();
+        let exits = yolo.exit_points();
+        // Accuracy rises with depth from 0.7 to 0.98.
+        let acc = |cut: usize| 0.7 + 0.28 * cut as f64 / yolo.full_cut() as f64;
+        let cut = cheapest_cut_above(&yolo, 0.85, acc);
+        assert!(exits.contains(&cut));
+        assert!(acc(cut) >= 0.85);
+        // Any shallower exit fails the threshold.
+        for &e in exits.iter().filter(|&&e| e < cut) {
+            assert!(acc(e) < 0.85);
+        }
+        // Unreachable threshold → full structure.
+        assert_eq!(cheapest_cut_above(&yolo, 2.0, acc), yolo.full_cut());
+    }
+
+    #[test]
+    fn empty_profile_list_yields_one_empty_structure() {
+        let structures = enumerate_structures(&[]);
+        assert_eq!(structures.len(), 1);
+        assert!(structures[0].cuts.is_empty());
+    }
+}

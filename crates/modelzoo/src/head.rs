@@ -1,0 +1,231 @@
+//! Trainable model instances.
+//!
+//! A [`TrainableModel`] is one deployed model of one application: the cost
+//! profile of its backbone plus a real early-exit MLP head whose learning
+//! dynamics stand in for the backbone's (see DESIGN.md). The head has
+//! three exits; a structure cut of the backbone maps proportionally onto a
+//! head exit, so a shallow early-exit structure both runs faster (profile)
+//! and classifies worse (head) — the trade-off of Obs. 4.
+
+use crate::profile::ModelProfile;
+use adainf_driftgen::LabeledSamples;
+use adainf_nn::{EarlyExitMlp, Matrix, MlpConfig, TrainBatch};
+use adainf_simcore::Prng;
+
+/// Feature dimensionality shared by all task streams and heads.
+pub const FEATURE_DIM: usize = 16;
+
+/// Number of exits of every head MLP.
+pub const HEAD_EXITS: usize = 3;
+
+/// A deployed, retrainable model instance.
+#[derive(Clone, Debug)]
+pub struct TrainableModel {
+    /// Backbone cost profile.
+    pub profile: ModelProfile,
+    head: EarlyExitMlp,
+    /// Monotone version counter, bumped by every retraining slice.
+    version: u64,
+    /// Samples consumed by retraining since construction.
+    trained_samples: u64,
+}
+
+impl TrainableModel {
+    /// Creates an untrained instance for a `classes`-way task.
+    pub fn new(profile: ModelProfile, classes: usize, rng: &mut Prng) -> Self {
+        let config = MlpConfig {
+            input_dim: FEATURE_DIM,
+            hidden: vec![32, 24, 16],
+            classes,
+            lr: 0.05,
+            momentum: 0.9,
+            exit_weights: vec![0.3, 0.55, 1.0],
+            update: None,
+        };
+        TrainableModel {
+            profile,
+            head: EarlyExitMlp::new(config, rng),
+            version: 0,
+            trained_samples: 0,
+        }
+    }
+
+    /// Number of classes of the bound task.
+    pub fn classes(&self) -> usize {
+        self.head.classes()
+    }
+
+    /// Monotone retraining version (bumps on every slice).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total samples consumed by retraining.
+    pub fn trained_samples(&self) -> u64 {
+        self.trained_samples
+    }
+
+    /// Maps a backbone structure cut onto a head exit: proportional in
+    /// depth fraction, so cutting the backbone early classifies with the
+    /// shallow head exit.
+    pub fn head_exit_for_cut(&self, cut: usize) -> usize {
+        let frac = (cut + 1) as f64 / self.profile.num_layers() as f64;
+        ((frac * HEAD_EXITS as f64).ceil() as usize)
+            .clamp(1, HEAD_EXITS)
+            - 1
+    }
+
+    /// Accuracy of the structure cut at `cut` on a sample batch.
+    pub fn accuracy_on(&self, samples: &LabeledSamples, cut: usize) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        self.head
+            .accuracy(&samples.inputs, &samples.labels, self.head_exit_for_cut(cut))
+    }
+
+    /// Predicted class per sample at the given cut.
+    pub fn predict(&self, inputs: &Matrix, cut: usize) -> Vec<usize> {
+        self.head.predict(inputs, self.head_exit_for_cut(cut))
+    }
+
+    /// Mini-batch size of the head's SGD.
+    pub const SGD_BATCH: usize = 32;
+
+    /// One retraining slice: mini-batch SGD over `samples` for `epochs`
+    /// passes, bumping the version. Empty batches are no-ops.
+    pub fn train_slice(&mut self, samples: &LabeledSamples, epochs: usize) {
+        if samples.is_empty() || epochs == 0 {
+            return;
+        }
+        let n = samples.len();
+        for _ in 0..epochs {
+            let mut start = 0;
+            while start < n {
+                let end = (start + Self::SGD_BATCH).min(n);
+                let idx: Vec<usize> = (start..end).collect();
+                let chunk = samples.select(&idx);
+                let batch = TrainBatch {
+                    inputs: chunk.inputs,
+                    labels: chunk.labels,
+                };
+                self.head.train_batch(&batch);
+                start = end;
+            }
+        }
+        self.version += 1;
+        self.trained_samples += n as u64;
+    }
+
+    /// First-layer feature representation of samples — what the drift
+    /// detector uses as "the feature vector of every new sample" (§3.2).
+    pub fn features(&self, samples: &LabeledSamples) -> Matrix {
+        self.head.features(&samples.inputs)
+    }
+
+    /// Snapshot of the head parameters (for parameter averaging, §3.3.2).
+    pub fn snapshot_params(&self) -> Vec<f32> {
+        self.head.flatten_params()
+    }
+
+    /// Replaces the head parameters with a snapshot.
+    pub fn load_params(&mut self, params: &[f32]) {
+        self.head.load_params(params);
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use adainf_driftgen::{TaskStream, TaskStreamConfig};
+
+    fn setup() -> (TrainableModel, TaskStream) {
+        let root = Prng::new(77);
+        let mut rng = root.split(1);
+        let model = TrainableModel::new(zoo::mobilenet_v2(), 6, &mut rng);
+        let stream = TaskStream::new(
+            TaskStreamConfig::new("vehicle", 6, 9).with_drift(0.4, 0.2),
+            &root,
+        );
+        (model, stream)
+    }
+
+    #[test]
+    fn exit_mapping_is_proportional_and_total() {
+        let (model, _) = setup();
+        let l = model.profile.num_layers();
+        assert_eq!(model.head_exit_for_cut(l - 1), HEAD_EXITS - 1);
+        assert_eq!(model.head_exit_for_cut(0), 0);
+        // Monotone in cut.
+        let mut prev = 0;
+        for cut in 0..l {
+            let e = model.head_exit_for_cut(cut);
+            assert!(e >= prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn training_improves_accuracy_and_bumps_version() {
+        let (mut model, mut stream) = setup();
+        let train = stream.sample(400);
+        let eval = stream.sample(400);
+        let before = model.accuracy_on(&eval, model.profile.full_cut());
+        assert_eq!(model.version(), 0);
+        for _ in 0..30 {
+            model.train_slice(&train, 1);
+        }
+        let after = model.accuracy_on(&eval, model.profile.full_cut());
+        assert!(after > before + 0.2, "accuracy {before} -> {after}");
+        assert!(after > 0.85, "final accuracy {after}");
+        assert_eq!(model.version(), 30);
+        assert_eq!(model.trained_samples(), 30 * 400);
+    }
+
+    #[test]
+    fn deeper_cut_is_at_least_as_accurate() {
+        let (mut model, mut stream) = setup();
+        let train = stream.sample(600);
+        for _ in 0..40 {
+            model.train_slice(&train, 1);
+        }
+        let eval = stream.sample(800);
+        let shallow = model.accuracy_on(&eval, 2);
+        let full = model.accuracy_on(&eval, model.profile.full_cut());
+        // Deep supervision makes this a soft property: the shallow exit
+        // can edge out the full exit on easy realisations, but never by a
+        // wide margin.
+        assert!(
+            full + 0.05 >= shallow,
+            "full {full} should not trail shallow {shallow}"
+        );
+    }
+
+    #[test]
+    fn empty_slice_is_noop() {
+        let (mut model, mut stream) = setup();
+        let empty = stream.sample(0);
+        model.train_slice(&empty, 3);
+        assert_eq!(model.version(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let (mut model, mut stream) = setup();
+        let train = stream.sample(200);
+        model.train_slice(&train, 5);
+        let snap = model.snapshot_params();
+        let mut other = {
+            let root = Prng::new(77);
+            let mut rng = root.split(1);
+            TrainableModel::new(zoo::mobilenet_v2(), 6, &mut rng)
+        };
+        other.load_params(&snap);
+        let eval = stream.sample(200);
+        let a = model.predict(&eval.inputs, model.profile.full_cut());
+        let b = other.predict(&eval.inputs, other.profile.full_cut());
+        assert_eq!(a, b);
+    }
+}

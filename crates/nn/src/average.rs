@@ -1,0 +1,104 @@
+//! Parameter averaging across model versions.
+//!
+//! §3.3.2: when a job starts retraining a model while other concurrent
+//! jobs have already retrained (or are retraining) the same model, AdaInf
+//! initialises from the *average* of the current parameter values of the
+//! different versions, citing \[26\] for the robustness benefit.
+
+use crate::mlp::EarlyExitMlp;
+
+/// Averages the flattened parameter vectors of several model versions.
+///
+/// Returns `None` when `versions` is empty or the lengths disagree (which
+/// would mean the callers averaged architecturally different models — a
+/// logic error surfaced to the caller rather than a panic because version
+/// sets are assembled dynamically from in-flight jobs).
+pub fn average_params(versions: &[Vec<f32>]) -> Option<Vec<f32>> {
+    let first = versions.first()?;
+    let n = first.len();
+    if versions.iter().any(|v| v.len() != n) {
+        return None;
+    }
+    let mut out = vec![0.0f32; n];
+    for v in versions {
+        for (o, x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+    let k = versions.len() as f32;
+    for o in &mut out {
+        *o /= k;
+    }
+    Some(out)
+}
+
+/// Convenience: averages live networks of identical architecture and loads
+/// the result into `target`.
+///
+/// Returns `false` (leaving `target` untouched) when the shapes disagree.
+pub fn average_into(target: &mut EarlyExitMlp, versions: &[&EarlyExitMlp]) -> bool {
+    if versions.is_empty() {
+        return false;
+    }
+    let flats: Vec<Vec<f32>> = versions.iter().map(|m| m.flatten_params()).collect();
+    match average_params(&flats) {
+        Some(avg) if avg.len() == target.param_count() => {
+            target.load_params(&avg);
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::mlp::{MlpConfig, TrainBatch};
+    use adainf_simcore::Prng;
+
+    #[test]
+    fn average_params_is_elementwise_mean() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![3.0f32, 4.0, 5.0];
+        assert_eq!(average_params(&[a, b]).unwrap(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(average_params(&[vec![1.0], vec![1.0, 2.0]]).is_none());
+        assert!(average_params(&[]).is_none());
+    }
+
+    #[test]
+    fn averaging_two_trained_versions_stays_reasonable() {
+        let mut rng = Prng::new(21);
+        let cfg = MlpConfig::small(6, 2);
+        let base = EarlyExitMlp::new(cfg.clone(), &mut rng);
+
+        // Two copies trained on the same separable blobs.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            let l = i % 2;
+            let c = if l == 0 { -1.5 } else { 1.5 };
+            for _ in 0..6 {
+                data.push((c + rng.gauss() * 0.4) as f32);
+            }
+            labels.push(l);
+        }
+        let batch = TrainBatch {
+            inputs: Matrix::from_slice(80, 6, &data),
+            labels: labels.clone(),
+        };
+        let mut v1 = base.clone();
+        let mut v2 = base.clone();
+        v1.train_epochs(&batch, 25);
+        v2.train_epochs(&batch, 25);
+
+        let mut merged = base.clone();
+        assert!(average_into(&mut merged, &[&v1, &v2]));
+        let acc = merged.accuracy(&batch.inputs, &labels, 1);
+        assert!(acc > 0.9, "averaged accuracy {acc}");
+    }
+}

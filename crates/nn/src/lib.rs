@@ -1,0 +1,39 @@
+//! # adainf-nn
+//!
+//! A small, dependency-free neural-network library written for the AdaInf
+//! reproduction. The paper's accuracy dynamics — accuracy dropping under
+//! data drift, recovering with retraining samples, early-exit structures
+//! trading accuracy for latency — are produced by *actual learning* on
+//! these networks rather than by a lookup table. The heavy backbones
+//! (TinyYOLOv3, MobileNetV2, …) are represented by cost profiles in
+//! `adainf-modelzoo`; this crate provides the trainable classifier heads
+//! that sit behind those profiles, plus the numerical utilities the AdaInf
+//! drift detector needs (PCA, cosine distance, Jensen–Shannon divergence).
+//!
+//! Contents:
+//!
+//! * [`matrix`] — a minimal row-major `f32` matrix with the handful of ops
+//!   backprop needs.
+//! * [`layer`] — dense layers with ReLU, forward/backward passes.
+//! * [`mlp`] — [`mlp::EarlyExitMlp`]: a multi-layer perceptron with a
+//!   softmax classification head after every hidden layer (deep
+//!   supervision, as in BranchyNet/SPINN), trained with SGD + momentum.
+//! * [`pca`] — principal component analysis by power iteration, used by
+//!   the drift detector (§3.2) before computing cosine distances.
+//! * [`metrics`] — cosine distance, KL and Jensen–Shannon divergence
+//!   (Fig 6), accuracy helpers.
+//! * [`average`] — parameter averaging across concurrently retrained model
+//!   versions (§3.3.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod average;
+pub mod layer;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+pub mod pca;
+
+pub use matrix::Matrix;
+pub use mlp::{EarlyExitMlp, MlpConfig, TrainBatch};

@@ -1,0 +1,342 @@
+//! A minimal row-major `f32` matrix.
+//!
+//! Only the operations backpropagation needs are implemented, with plain
+//! triple loops — at the scales used here (feature dims ≤ 64, batch ≤ 64)
+//! this is far from being a bottleneck, and the code stays auditable.
+
+use adainf_simcore::Prng;
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// He-style random initialisation: `N(0, sqrt(2 / fan_in))`. This is
+    /// the standard choice for ReLU networks and keeps small MLPs
+    /// trainable from the first step.
+    pub fn he_init(rows: usize, cols: usize, rng: &mut Prng) -> Self {
+        let std = (2.0 / rows as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| (rng.gauss() * std) as f32)
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the backing row-major storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A single row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self × other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, a) in arow.iter().enumerate() {
+                if *a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, b) in out_row.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Adds a row vector (bias) to every row.
+    pub fn add_row_vec(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            for (x, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Element-wise in-place ReLU.
+    pub fn relu_inplace(&mut self) {
+        for x in &mut self.data {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Element-wise in-place multiply by the ReLU mask of `pre` (the
+    /// backward pass of ReLU): entries where `pre <= 0` are zeroed.
+    pub fn relu_backward_inplace(&mut self, pre: &Matrix) {
+        assert_eq!(self.data.len(), pre.data.len(), "shape mismatch");
+        for (g, p) in self.data.iter_mut().zip(&pre.data) {
+            if *p <= 0.0 {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Row-wise softmax, numerically stabilised.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut total = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                total += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= total;
+            }
+        }
+        out
+    }
+
+    /// `self += k * other`, the SGD update primitive.
+    pub fn axpy(&mut self, k: f32, other: &Matrix) {
+        assert_eq!(self.data.len(), other.data.len(), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Scales every element by `k`.
+    pub fn scale(&mut self, k: f32) {
+        for x in &mut self.data {
+            *x *= k;
+        }
+    }
+
+    /// Column sums returned as a vector (bias gradient).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Mean of each column (used for mean feature vectors in §3.2).
+    pub fn col_means(&self) -> Vec<f32> {
+        let mut out = self.col_sums();
+        if self.rows > 0 {
+            for x in &mut out {
+                *x /= self.rows as f32;
+            }
+        }
+        out
+    }
+
+    /// Index of the maximum entry of each row (argmax classification).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_slice(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit() {
+        let a = Matrix::from_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_slice(2, 2, &[1.0, 0.5, -1.0, 2.0]);
+        // aᵀ (3x2) × b (2x2) = 3x2
+        let c = a.t_matmul(&b);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 2);
+        // check element (0,0): col0 of a · col0 of b = 1*1 + 4*(-1) = -3
+        assert_eq!(c.get(0, 0), -3.0);
+
+        let d = Matrix::from_slice(2, 3, &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        // a (2x3) × dᵀ (3x2) = 2x2; element (0,1) = row0(a)·row1(d) = 6*2
+        let e = a.matmul_t(&d);
+        assert_eq!(e.get(0, 1), 12.0);
+    }
+
+    #[test]
+    fn softmax_rows_normalises() {
+        let m = Matrix::from_slice(2, 3, &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let total: f32 = s.row(r).iter().sum();
+            assert!((total - 1.0).abs() < 1e-5);
+        }
+        // Large logits must not overflow.
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let pre = Matrix::from_slice(1, 4, &[-1.0, 0.0, 2.0, -3.0]);
+        let mut act = pre.clone();
+        act.relu_inplace();
+        assert_eq!(act.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let mut grad = Matrix::from_slice(1, 4, &[1.0, 1.0, 1.0, 1.0]);
+        grad.relu_backward_inplace(&pre);
+        assert_eq!(grad.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn col_stats_and_argmax() {
+        let m = Matrix::from_slice(2, 2, &[1.0, 5.0, 3.0, 1.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 6.0]);
+        assert_eq!(m.col_means(), vec![2.0, 3.0]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let mut a = Matrix::zeros(1, 3);
+        let g = Matrix::from_slice(1, 3, &[1.0, 2.0, 3.0]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[-0.5, -1.0, -1.5]);
+    }
+
+    #[test]
+    fn he_init_statistics() {
+        let mut rng = Prng::new(11);
+        let m = Matrix::he_init(64, 64, &mut rng);
+        let mean: f32 = m.data().iter().sum::<f32>() / 4096.0;
+        let var: f32 =
+            m.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4096.0;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 2.0 / 64.0).abs() < 0.01, "var {var}");
+    }
+}

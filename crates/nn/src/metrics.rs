@@ -1,0 +1,107 @@
+//! Distance and divergence measures.
+//!
+//! * Cosine distance — the drift detector (§3.2) ranks new samples by the
+//!   cosine distance of their feature vector to the mean feature vector of
+//!   the previous period's training data.
+//! * Jensen–Shannon divergence — Fig 6 reports the JS divergence of class
+//!   label distributions in consecutive time periods as the drift signal.
+
+/// Cosine distance `1 − cos(a, b)` in `\[0, 2\]`. Returns `1.0` when either
+/// vector is (numerically) zero — maximally non-informative.
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        dot += *x as f64 * *y as f64;
+        na += *x as f64 * *x as f64;
+        nb += *y as f64 * *y as f64;
+    }
+    if na < 1e-24 || nb < 1e-24 {
+        return 1.0;
+    }
+    1.0 - dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. Zero-probability
+/// entries of `p` contribute nothing; zero entries of `q` where `p > 0`
+/// are floored to avoid infinities (the label histograms this is applied
+/// to are finite-sample estimates).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution size mismatch");
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            acc += pi * (pi / qi.max(1e-12)).ln();
+        }
+    }
+    acc
+}
+
+/// Jensen–Shannon divergence in nats: symmetric, bounded by `ln 2`.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution size mismatch");
+    let m: Vec<f64> = p.iter().zip(q).map(|(a, b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Normalises a non-negative histogram into a probability distribution.
+/// An all-zero histogram becomes the uniform distribution.
+pub fn normalize_hist(counts: &[f64]) -> Vec<f64> {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / counts.len().max(1) as f64; counts.len()];
+    }
+    counts.iter().map(|c| c / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_distance_basics() {
+        assert!((cosine_distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-9);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn cosine_distance_scale_invariant() {
+        let a = [0.3f32, -1.2, 2.5];
+        let b = [0.6f32, -2.4, 5.0];
+        assert!(cosine_distance(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn js_divergence_properties() {
+        let p = [0.5, 0.5];
+        let q = [0.5, 0.5];
+        assert!(js_divergence(&p, &q).abs() < 1e-12);
+        let r = [1.0, 0.0];
+        let s = [0.0, 1.0];
+        // Disjoint support → ln 2.
+        assert!((js_divergence(&r, &s) - (2.0f64).ln()).abs() < 1e-6);
+        // Symmetric.
+        let t = [0.8, 0.2];
+        assert!((js_divergence(&p, &t) - js_divergence(&t, &p)).abs() < 1e-12);
+        // Bounded.
+        assert!(js_divergence(&p, &t) <= (2.0f64).ln());
+    }
+
+    #[test]
+    fn kl_handles_zeros() {
+        let p = [0.0, 1.0];
+        let q = [0.5, 0.5];
+        let kl = kl_divergence(&p, &q);
+        assert!((kl - (2.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_hist_cases() {
+        assert_eq!(normalize_hist(&[2.0, 2.0]), vec![0.5, 0.5]);
+        assert_eq!(normalize_hist(&[0.0, 0.0]), vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,555 @@
+//! Early-exit multi-layer perceptrons.
+//!
+//! An [`EarlyExitMlp`] is a trunk of ReLU dense layers with a softmax
+//! classification head attached after *every* trunk layer (deep
+//! supervision, the BranchyNet/SPINN construction the paper's early-exit
+//! structures follow \[22\]). Inference can stop at any exit: earlier exits
+//! are cheaper but less accurate — exactly the trade-off AdaInf's structure
+//! selector (§3.3.2) exploits.
+//!
+//! Training uses SGD with momentum on a weighted sum of the per-exit
+//! cross-entropy losses, so every exit remains usable after retraining.
+
+use crate::layer::{Dense, DenseCache, Update};
+use crate::matrix::Matrix;
+use adainf_simcore::Prng;
+
+/// Hyper-parameters of an [`EarlyExitMlp`].
+#[derive(Clone, Debug)]
+pub struct MlpConfig {
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Width of each trunk layer; its length is the number of exits.
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Loss weight per exit; later exits usually get more weight. Must
+    /// have the same length as `hidden` (checked at build time).
+    pub exit_weights: Vec<f32>,
+    /// Optional update-rule override (e.g. [`Update::adam`]); `None`
+    /// uses SGD with the `lr`/`momentum` fields above.
+    pub update: Option<Update>,
+}
+
+impl MlpConfig {
+    /// A reasonable default: two hidden layers, final exit weighted 1.0
+    /// and the early exit 0.4.
+    pub fn small(input_dim: usize, classes: usize) -> Self {
+        MlpConfig {
+            input_dim,
+            hidden: vec![32, 32],
+            classes,
+            lr: 0.05,
+            momentum: 0.9,
+            exit_weights: vec![0.4, 1.0],
+            update: None,
+        }
+    }
+
+    /// The effective update rule.
+    pub fn update_rule(&self) -> Update {
+        self.update.unwrap_or(Update::SgdMomentum {
+            lr: self.lr,
+            momentum: self.momentum,
+        })
+    }
+}
+
+/// A labelled mini-batch.
+#[derive(Clone, Debug)]
+pub struct TrainBatch {
+    /// Feature rows, `batch × input_dim`.
+    pub inputs: Matrix,
+    /// Class label per row.
+    pub labels: Vec<usize>,
+}
+
+/// An MLP with an early-exit head after every trunk layer.
+///
+/// ```
+/// use adainf_nn::{EarlyExitMlp, Matrix, MlpConfig, TrainBatch};
+/// use adainf_simcore::Prng;
+/// let mut rng = Prng::new(3);
+/// let mut net = EarlyExitMlp::new(MlpConfig::small(4, 2), &mut rng);
+/// // Two separable blobs at ±1.
+/// let data: Vec<f32> = (0..32).flat_map(|i| {
+///     let c = if i % 2 == 0 { -1.0f32 } else { 1.0 };
+///     vec![c; 4]
+/// }).collect();
+/// let batch = TrainBatch {
+///     inputs: Matrix::from_slice(32, 4, &data),
+///     labels: (0..32).map(|i| i % 2).collect(),
+/// };
+/// net.train_epochs(&batch, 20);
+/// let acc = net.accuracy(&batch.inputs, &batch.labels, net.num_exits() - 1);
+/// assert!(acc > 0.95);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EarlyExitMlp {
+    trunk: Vec<Dense>,
+    heads: Vec<Dense>,
+    config: MlpConfig,
+}
+
+impl EarlyExitMlp {
+    /// Builds a randomly-initialised network.
+    ///
+    /// # Panics
+    /// Panics if `hidden` is empty or `exit_weights` length mismatches.
+    pub fn new(config: MlpConfig, rng: &mut Prng) -> Self {
+        assert!(!config.hidden.is_empty(), "need at least one trunk layer");
+        assert_eq!(
+            config.hidden.len(),
+            config.exit_weights.len(),
+            "one exit weight per trunk layer"
+        );
+        let mut trunk = Vec::with_capacity(config.hidden.len());
+        let mut heads = Vec::with_capacity(config.hidden.len());
+        let mut in_dim = config.input_dim;
+        for &h in &config.hidden {
+            trunk.push(Dense::new(in_dim, h, true, rng));
+            heads.push(Dense::new(h, config.classes, false, rng));
+            in_dim = h;
+        }
+        EarlyExitMlp {
+            trunk,
+            heads,
+            config,
+        }
+    }
+
+    /// Number of exits (== trunk depth).
+    pub fn num_exits(&self) -> usize {
+        self.trunk.len()
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.config.classes
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.trunk
+            .iter()
+            .chain(self.heads.iter())
+            .map(Dense::param_count)
+            .sum()
+    }
+
+    /// Class-probability rows at the given exit (0-based; the last exit is
+    /// the "full structure").
+    ///
+    /// # Panics
+    /// Panics if `exit >= num_exits()`.
+    pub fn probabilities(&self, inputs: &Matrix, exit: usize) -> Matrix {
+        assert!(exit < self.num_exits(), "exit out of range");
+        let mut x = inputs.clone();
+        for layer in &self.trunk[..=exit] {
+            x = layer.infer(&x);
+        }
+        self.heads[exit].infer(&x).softmax_rows()
+    }
+
+    /// Predicted class per row at the given exit.
+    pub fn predict(&self, inputs: &Matrix, exit: usize) -> Vec<usize> {
+        self.probabilities(inputs, exit).argmax_rows()
+    }
+
+    /// Fraction of rows classified correctly at the given exit.
+    pub fn accuracy(&self, inputs: &Matrix, labels: &[usize], exit: usize) -> f64 {
+        assert_eq!(inputs.rows(), labels.len(), "label count mismatch");
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(inputs, exit);
+        let correct = preds
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        correct as f64 / labels.len() as f64
+    }
+
+    /// The hidden representation at the *first* trunk layer — used as the
+    /// "feature vector" of a sample by the drift detector (§3.2).
+    pub fn features(&self, inputs: &Matrix) -> Matrix {
+        self.trunk[0].infer(inputs)
+    }
+
+    /// SPINN-style confidence-gated inference \[22\]: each row exits at
+    /// the first head whose top softmax probability reaches
+    /// `confidence`, falling through to the final exit otherwise.
+    /// Returns the predicted class and the exit used per row.
+    ///
+    /// This is the *dynamic* early-exit mode of the SPINN citation; the
+    /// AdaInf scheduler instead picks a *static* exit per structure
+    /// choice (§3.3.2). Both modes share the same heads.
+    pub fn predict_adaptive(
+        &self,
+        inputs: &Matrix,
+        confidence: f32,
+    ) -> Vec<(usize, usize)> {
+        let n = inputs.rows();
+        let mut out: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut x = inputs.clone();
+        for exit in 0..self.num_exits() {
+            x = self.trunk[exit].infer(&x);
+            let probs = self.heads[exit].infer(&x).softmax_rows();
+            let last = exit + 1 == self.num_exits();
+            for (r, slot) in out.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let row = probs.row(r);
+                let (best, &p) = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite prob"))
+                    .expect("non-empty class row");
+                if p >= confidence || last {
+                    *slot = Some((best, exit));
+                }
+            }
+            if out.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        out.into_iter().map(|o| o.expect("all rows exited")).collect()
+    }
+
+    /// One SGD step on a mini-batch with deep supervision: the loss is the
+    /// exit-weighted sum of per-exit cross-entropies. Returns the mean
+    /// (weighted) loss, for monitoring.
+    pub fn train_batch(&mut self, batch: &TrainBatch) -> f64 {
+        assert_eq!(batch.inputs.rows(), batch.labels.len());
+        if batch.labels.is_empty() {
+            return 0.0;
+        }
+        let update = self.config.update_rule();
+        let n_exits = self.num_exits();
+
+        // Forward through the trunk, caching.
+        let mut activations: Vec<Matrix> = Vec::with_capacity(n_exits);
+        let mut trunk_caches: Vec<DenseCache> = Vec::with_capacity(n_exits);
+        let mut x = batch.inputs.clone();
+        for layer in &self.trunk {
+            let (out, cache) = layer.forward(&x);
+            trunk_caches.push(cache);
+            activations.push(out.clone());
+            x = out;
+        }
+
+        // Per-exit head forward + softmax-CE gradient, updating heads and
+        // collecting the gradient each head injects into its trunk level.
+        let mut head_grads: Vec<Matrix> = Vec::with_capacity(n_exits);
+        let mut total_loss = 0.0f64;
+        for (e, activation) in activations.iter().enumerate().take(n_exits) {
+            let w = self.config.exit_weights[e];
+            let (logits, cache) = self.heads[e].forward(activation);
+            let probs = logits.softmax_rows();
+            // Loss and gradient: dL/dlogits = (p − onehot) · w.
+            let mut grad = probs.clone();
+            for (r, &label) in batch.labels.iter().enumerate() {
+                let p = probs.get(r, label).max(1e-12);
+                total_loss += -(p as f64).ln() * w as f64;
+                grad.set(r, label, grad.get(r, label) - 1.0);
+            }
+            grad.scale(w);
+            head_grads.push(self.heads[e].backward_with(&cache, grad, update));
+        }
+
+        // Backward through the trunk, adding each head's contribution at
+        // its level.
+        let mut grad = head_grads.pop().expect("at least one exit");
+        for e in (0..n_exits).rev() {
+            let grad_in = self.trunk[e].backward_with(&trunk_caches[e], grad, update);
+            grad = grad_in;
+            if e > 0 {
+                let head_grad = head_grads.pop().expect("one grad per earlier exit");
+                // `grad` currently targets activation e-1; add the exit
+                // gradient injected there.
+                let mut combined = grad;
+                combined.axpy(1.0, &head_grad);
+                grad = combined;
+            }
+        }
+        total_loss / batch.labels.len() as f64
+    }
+
+    /// Trains on `batch` for `epochs` passes; returns the final loss.
+    pub fn train_epochs(&mut self, batch: &TrainBatch, epochs: usize) -> f64 {
+        let mut loss = 0.0;
+        for _ in 0..epochs {
+            loss = self.train_batch(batch);
+        }
+        loss
+    }
+
+    /// Flattens all parameters (trunk then heads) into a vector.
+    pub fn flatten_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in self.trunk.iter().chain(self.heads.iter()) {
+            layer.append_params(&mut out);
+        }
+        out
+    }
+
+    /// Loads parameters produced by [`Self::flatten_params`] on a network
+    /// of identical shape.
+    ///
+    /// # Panics
+    /// Panics if the parameter count does not match.
+    pub fn load_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        let mut offset = 0;
+        for layer in self.trunk.iter_mut().chain(self.heads.iter_mut()) {
+            offset += layer.load_params(&params[offset..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs; any working learner must reach
+    /// high accuracy quickly.
+    fn blob_batch(rng: &mut Prng, n: usize, dim: usize) -> TrainBatch {
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let center = if label == 0 { -1.5 } else { 1.5 };
+            for _ in 0..dim {
+                data.push((center + rng.gauss() * 0.5) as f32);
+            }
+            labels.push(label);
+        }
+        TrainBatch {
+            inputs: Matrix::from_slice(n, dim, &data),
+            labels,
+        }
+    }
+
+    #[test]
+    fn learns_separable_blobs_at_every_exit() {
+        let mut rng = Prng::new(42);
+        let cfg = MlpConfig::small(8, 2);
+        let mut net = EarlyExitMlp::new(cfg, &mut rng);
+        let train = blob_batch(&mut rng, 64, 8);
+        let test = blob_batch(&mut rng, 128, 8);
+        let before = net.accuracy(&test.inputs, &test.labels, 1);
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..30 {
+            last_loss = net.train_batch(&train);
+        }
+        for exit in 0..net.num_exits() {
+            let acc = net.accuracy(&test.inputs, &test.labels, exit);
+            assert!(acc > 0.95, "exit {exit} accuracy {acc}");
+        }
+        assert!(last_loss < 0.2, "loss {last_loss}");
+        let after = net.accuracy(&test.inputs, &test.labels, 1);
+        assert!(after > before, "training must improve accuracy");
+    }
+
+    #[test]
+    fn adam_learns_blobs_too() {
+        let mut rng = Prng::new(44);
+        let mut cfg = MlpConfig::small(8, 2);
+        cfg.update = Some(Update::adam(0.01));
+        let mut net = EarlyExitMlp::new(cfg, &mut rng);
+        let train = blob_batch(&mut rng, 64, 8);
+        let test = blob_batch(&mut rng, 128, 8);
+        for _ in 0..60 {
+            net.train_batch(&train);
+        }
+        let acc = net.accuracy(&test.inputs, &test.labels, 1);
+        assert!(acc > 0.95, "adam accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_nan_safe_under_extreme_inputs() {
+        // Gradient clipping must keep the network finite even on
+        // pathological feature magnitudes.
+        let mut rng = Prng::new(45);
+        let mut net = EarlyExitMlp::new(MlpConfig::small(4, 2), &mut rng);
+        let data: Vec<f32> = (0..64)
+            .map(|i| if i % 3 == 0 { 1e6 } else { -1e6 })
+            .collect();
+        let batch = TrainBatch {
+            inputs: Matrix::from_slice(16, 4, &data),
+            labels: (0..16).map(|i| i % 2).collect(),
+        };
+        for _ in 0..50 {
+            let loss = net.train_batch(&batch);
+            assert!(loss.is_finite(), "loss diverged");
+        }
+        for p in net.flatten_params() {
+            assert!(p.is_finite(), "parameter became non-finite");
+        }
+        // Predictions still well-defined.
+        let _ = net.predict(&batch.inputs, 1);
+    }
+
+    #[test]
+    fn loss_decreases_monotonically_enough() {
+        let mut rng = Prng::new(7);
+        let mut net = EarlyExitMlp::new(MlpConfig::small(4, 3), &mut rng);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let c = i % 3;
+            for d in 0..4 {
+                let center = if d == c { 2.0 } else { 0.0 };
+                data.push((center + rng.gauss() * 0.3) as f32);
+            }
+            labels.push(c);
+        }
+        let batch = TrainBatch {
+            inputs: Matrix::from_slice(60, 4, &data),
+            labels,
+        };
+        let first = net.train_batch(&batch);
+        let last = net.train_epochs(&batch, 40);
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adaptive_inference_exits_early_when_confident() {
+        let mut rng = Prng::new(77);
+        let mut net = EarlyExitMlp::new(MlpConfig::small(8, 2), &mut rng);
+        let train = blob_batch(&mut rng, 64, 8);
+        for _ in 0..40 {
+            net.train_batch(&train);
+        }
+        let test = blob_batch(&mut rng, 128, 8);
+        // Permissive gate: most samples exit at head 0.
+        let relaxed = net.predict_adaptive(&test.inputs, 0.6);
+        let early = relaxed.iter().filter(|(_, e)| *e == 0).count();
+        assert!(early > 64, "only {early} early exits at 0.6");
+        // Strict gate: nothing clears 1.0, everything falls through.
+        let strict = net.predict_adaptive(&test.inputs, 1.01);
+        assert!(strict.iter().all(|(_, e)| *e == net.num_exits() - 1));
+        // Accuracy stays high under the permissive gate.
+        let correct = relaxed
+            .iter()
+            .zip(&test.labels)
+            .filter(|((p, _), l)| p == *l)
+            .count();
+        assert!(correct as f64 / test.labels.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn params_round_trip_preserves_predictions() {
+        let mut rng = Prng::new(9);
+        let cfg = MlpConfig::small(6, 4);
+        let mut a = EarlyExitMlp::new(cfg.clone(), &mut rng);
+        let b = EarlyExitMlp::new(cfg, &mut rng);
+        let batch = blob_batch(&mut rng, 16, 6);
+        a.train_epochs(&batch, 5);
+        let params = a.flatten_params();
+        let mut b2 = b.clone();
+        b2.load_params(&params);
+        let pa = a.predict(&batch.inputs, 1);
+        let pb = b2.predict(&batch.inputs, 1);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn features_have_first_layer_width() {
+        let mut rng = Prng::new(3);
+        let net = EarlyExitMlp::new(MlpConfig::small(8, 2), &mut rng);
+        let batch = blob_batch(&mut rng, 4, 8);
+        let f = net.features(&batch.inputs);
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.cols(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "one exit weight per trunk layer")]
+    fn mismatched_exit_weights_panic() {
+        let mut rng = Prng::new(1);
+        EarlyExitMlp::new(
+            MlpConfig {
+                input_dim: 4,
+                hidden: vec![8, 8],
+                classes: 2,
+                lr: 0.1,
+                momentum: 0.9,
+                exit_weights: vec![1.0],
+                update: None,
+            },
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trunk layer")]
+    fn empty_trunk_panics() {
+        let mut rng = Prng::new(1);
+        EarlyExitMlp::new(
+            MlpConfig {
+                input_dim: 4,
+                hidden: vec![],
+                classes: 2,
+                lr: 0.1,
+                momentum: 0.9,
+                exit_weights: vec![],
+                update: None,
+            },
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn empty_batch_train_is_zero_loss() {
+        let mut rng = Prng::new(2);
+        let mut net = EarlyExitMlp::new(MlpConfig::small(4, 2), &mut rng);
+        let batch = TrainBatch {
+            inputs: Matrix::zeros(0, 4),
+            labels: vec![],
+        };
+        assert_eq!(net.train_batch(&batch), 0.0);
+        assert_eq!(net.accuracy(&batch.inputs, &batch.labels, 0), 0.0);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let mut rng = Prng::new(3);
+        let net = EarlyExitMlp::new(
+            MlpConfig {
+                input_dim: 10,
+                hidden: vec![8, 6],
+                classes: 4,
+                lr: 0.1,
+                momentum: 0.9,
+                exit_weights: vec![0.5, 1.0],
+                update: None,
+            },
+            &mut rng,
+        );
+        // trunk: 10*8+8 + 8*6+6 ; heads: 8*4+4 + 6*4+4
+        let expect = (10 * 8 + 8) + (8 * 6 + 6) + (8 * 4 + 4) + (6 * 4 + 4);
+        assert_eq!(net.param_count(), expect);
+        assert_eq!(net.flatten_params().len(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "exit out of range")]
+    fn bad_exit_panics() {
+        let mut rng = Prng::new(1);
+        let net = EarlyExitMlp::new(MlpConfig::small(4, 2), &mut rng);
+        let x = Matrix::zeros(1, 4);
+        net.probabilities(&x, 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Principal component analysis by power iteration with deflation.
+//!
+//! The AdaInf drift detector (§3.2) reduces high-dimensional feature
+//! vectors with PCA before computing cosine distances "to get more
+//! accurate distance results". Power iteration on the covariance matrix is
+//! ample at the dimensionalities involved (≤ 64).
+
+use crate::matrix::Matrix;
+use adainf_simcore::Prng;
+
+/// A fitted PCA projection.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    /// Per-feature mean of the fitting data.
+    mean: Vec<f32>,
+    /// Principal components, one row per component.
+    components: Matrix,
+}
+
+impl Pca {
+    /// Fits `k` principal components to the rows of `data`.
+    ///
+    /// `k` is clamped to the feature dimensionality. Components are
+    /// extracted by power iteration with Hotelling deflation; 60 iterations
+    /// per component is far beyond convergence for these sizes.
+    ///
+    /// # Panics
+    /// Panics when `data` has no rows.
+    pub fn fit(data: &Matrix, k: usize, rng: &mut Prng) -> Self {
+        assert!(data.rows() > 0, "cannot fit PCA to an empty matrix");
+        let d = data.cols();
+        let k = k.min(d).max(1);
+        let mean = data.col_means();
+
+        // Covariance matrix (d × d), centred.
+        let mut cov = Matrix::zeros(d, d);
+        for r in 0..data.rows() {
+            let row = data.row(r);
+            for i in 0..d {
+                let xi = row[i] - mean[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                let crow = cov.row_mut(i);
+                for (j, c) in crow.iter_mut().enumerate() {
+                    *c += xi * (row[j] - mean[j]);
+                }
+            }
+        }
+        cov.scale(1.0 / data.rows() as f32);
+
+        let mut components = Matrix::zeros(k, d);
+        let mut deflated = cov;
+        for comp in 0..k {
+            // Random start vector.
+            let mut v: Vec<f32> = (0..d).map(|_| rng.gauss() as f32).collect();
+            normalize(&mut v);
+            for _ in 0..60 {
+                let mut w = vec![0.0f32; d];
+                for (wi, i) in w.iter_mut().zip(0..d) {
+                    let row = deflated.row(i);
+                    let mut acc = 0.0;
+                    for (r, x) in row.iter().zip(&v) {
+                        acc += r * x;
+                    }
+                    *wi = acc;
+                }
+                normalize(&mut w);
+                v = w;
+            }
+            // Rayleigh quotient = eigenvalue estimate, for deflation.
+            let mut av = vec![0.0f32; d];
+            for (avi, i) in av.iter_mut().zip(0..d) {
+                let row = deflated.row(i);
+                *avi = row.iter().zip(&v).map(|(r, x)| r * x).sum();
+            }
+            let lambda: f32 = av.iter().zip(&v).map(|(a, x)| a * x).sum();
+            // Deflate: C ← C − λ v vᵀ.
+            for i in 0..d {
+                let vi = v[i];
+                let row = deflated.row_mut(i);
+                for (j, c) in row.iter_mut().enumerate() {
+                    *c -= lambda * vi * v[j];
+                }
+            }
+            components.row_mut(comp).copy_from_slice(&v);
+        }
+        Pca { mean, components }
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Projects each row of `data` onto the principal components,
+    /// returning an `n × k` matrix.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mean.len(), "dimensionality mismatch");
+        let n = data.rows();
+        let k = self.k();
+        let mut out = Matrix::zeros(n, k);
+        for r in 0..n {
+            let row = data.row(r);
+            for c in 0..k {
+                let comp = self.components.row(c);
+                let mut acc = 0.0;
+                for i in 0..row.len() {
+                    acc += (row[i] - self.mean[i]) * comp[i];
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// Projects a single vector.
+    pub fn transform_vec(&self, v: &[f32]) -> Vec<f32> {
+        let m = Matrix::from_slice(1, v.len(), v);
+        self.transform(&m).row(0).to_vec()
+    }
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_component_finds_dominant_direction() {
+        // Data stretched along (1, 1)/√2 with tiny orthogonal noise.
+        let mut rng = Prng::new(5);
+        let n = 400;
+        let mut data = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let t = rng.gauss() * 5.0;
+            let noise = rng.gauss() * 0.1;
+            data.push((t + noise) as f32);
+            data.push((t - noise) as f32);
+        }
+        let m = Matrix::from_slice(n, 2, &data);
+        let pca = Pca::fit(&m, 1, &mut rng);
+        let projected = pca.transform(&m);
+        // Projection must capture nearly all the variance.
+        let total_var: f32 = {
+            let means = m.col_means();
+            let mut acc = 0.0;
+            for r in 0..n {
+                for c in 0..2 {
+                    let d = m.get(r, c) - means[c];
+                    acc += d * d;
+                }
+            }
+            acc / n as f32
+        };
+        let proj_var: f32 = {
+            let mean: f32 =
+                projected.data().iter().sum::<f32>() / n as f32;
+            projected
+                .data()
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f32>()
+                / n as f32
+        };
+        assert!(
+            proj_var / total_var > 0.99,
+            "captured {} of {}",
+            proj_var,
+            total_var
+        );
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = Prng::new(6);
+        let n = 200;
+        let d = 8;
+        let mut data = Vec::with_capacity(n * d);
+        for _ in 0..n * d {
+            data.push(rng.gauss() as f32);
+        }
+        let m = Matrix::from_slice(n, d, &data);
+        let pca = Pca::fit(&m, 3, &mut rng);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f32 = pca
+                    .components
+                    .row(i)
+                    .iter()
+                    .zip(pca.components.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (dot - expect).abs() < 0.05,
+                    "({i},{j}) dot {dot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_clamps_to_dimensionality() {
+        let mut rng = Prng::new(7);
+        let m = Matrix::from_slice(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let pca = Pca::fit(&m, 10, &mut rng);
+        assert_eq!(pca.k(), 2);
+        assert_eq!(pca.transform_vec(&[1.0, 2.0]).len(), 2);
+    }
+}

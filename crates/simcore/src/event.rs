@@ -1,0 +1,225 @@
+//! Time-ordered event queue and a minimal discrete-event engine.
+//!
+//! The detailed GPU-memory simulation (Figs 11–13) and the end-to-end
+//! harness both advance simulated time by draining a queue of `(time,
+//! event)` pairs. Ties are broken FIFO by an insertion sequence number so
+//! that simulation runs are fully deterministic regardless of heap
+//! internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry; ordered so the *earliest* time pops first, and FIFO
+/// within a timestamp.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want a min-heap.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock — scheduling into the
+    /// past is always a logic error in a discrete-event simulation.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+/// A tiny engine wrapper: drains an [`EventQueue`], handing each event to a
+/// handler that may schedule follow-up events.
+///
+/// The handler receives the queue so it can schedule; returning `false`
+/// stops the run early (used by bounded-horizon experiments).
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Access to the underlying queue for initial event seeding.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Runs until the queue is empty, `until` is passed, or the handler
+    /// returns `false`. Returns the number of events processed.
+    pub fn run<F>(&mut self, until: Option<SimTime>, mut handler: F) -> u64
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>) -> bool,
+    {
+        let mut processed = 0;
+        while let Some(next) = self.queue.peek_time() {
+            if let Some(limit) = until {
+                if next > limit {
+                    break;
+                }
+            }
+            let (at, event) = self.queue.pop().expect("peeked event vanished");
+            processed += 1;
+            if !handler(at, event, &mut self.queue) {
+                break;
+            }
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "b");
+        q.schedule(SimTime::from_micros(5), "a");
+        q.schedule(SimTime::from_micros(10), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), 1);
+        q.pop();
+        q.schedule(SimTime::from_millis(1), 2);
+    }
+
+    #[test]
+    fn engine_cascades_and_respects_horizon() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.queue_mut().schedule(SimTime::ZERO, 0);
+        // Each event n schedules n+1 one millisecond later, up to 10.
+        let processed = engine.run(Some(SimTime::from_millis(4)), |at, n, q| {
+            if n < 10 {
+                q.schedule(at + SimDuration::from_millis(1), n + 1);
+            }
+            true
+        });
+        // Events at 0,1,2,3,4 ms processed; 5 ms is beyond the horizon.
+        assert_eq!(processed, 5);
+        assert_eq!(engine.now(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn engine_early_stop() {
+        let mut engine: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            engine.queue_mut().schedule(SimTime::from_micros(i), i as u32);
+        }
+        let processed = engine.run(None, |_, n, _| n < 3);
+        assert_eq!(processed, 4); // events 0,1,2 continue; 3 stops.
+    }
+}

@@ -1,0 +1,36 @@
+//! # adainf-simcore
+//!
+//! Deterministic discrete-event simulation kernel used by every other crate
+//! in the AdaInf workspace.
+//!
+//! The crate provides four building blocks:
+//!
+//! * [`time`] — a microsecond-resolution simulated clock ([`SimTime`],
+//!   [`SimDuration`]) plus the scheduling constants of the paper (50 s
+//!   retraining periods, 5 ms sessions, 2 ms scheduling lead).
+//! * [`rng`] — a small, seedable, splittable PRNG ([`rng::Prng`]) with the
+//!   distributions the workloads need (uniform, normal, Poisson,
+//!   exponential, simplex perturbation). Determinism matters: every
+//!   experiment in the paper reproduction is replayable from a seed.
+//! * [`event`] — a time-ordered event queue with stable FIFO tie-breaking
+//!   and a minimal engine loop.
+//! * [`stats`] / [`series`] — online statistics, histograms, empirical CDFs
+//!   and windowed time series used by the metric pipeline (finish rate per
+//!   1 s window, accuracy per 50 s period, GPU utilization per second).
+//!
+//! Nothing in this crate knows about GPUs, DNNs or schedulers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use event::{Engine, EventQueue};
+pub use rng::Prng;
+pub use series::{PeriodSeries, WindowSeries};
+pub use stats::{Cdf, Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,347 @@
+//! Online statistics, histograms and empirical CDFs.
+//!
+//! These are the primitives behind every reported metric: per-period
+//! accuracy averages, finish-rate windows, latency breakdowns and the
+//! reuse-time CDFs of Figs 12–13.
+
+/// Numerically stable online mean/variance (Welford) with min/max.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && hi > lo, "invalid histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts (excluding under/overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate quantile from the histogram (`q` in `\[0, 1\]`). Returns
+    /// the lower edge of the bucket containing the quantile. Under/overflow
+    /// mass clamps to the bounds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return self.lo;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = self.underflow;
+        if acc >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.lo + i as f64 * width;
+            }
+        }
+        self.hi
+    }
+}
+
+/// An exact empirical CDF built from raw samples.
+///
+/// Used for the content reuse-time distributions (Figs 12–13), where the
+/// paper reports full CDFs. Samples are stored and sorted lazily.
+#[derive(Clone, Debug, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF accumulator.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in CDF"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile (`q` in `\[0, 1\]`); 0.0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = ((q.clamp(0.0, 1.0) * (self.samples.len() - 1) as f64).round())
+            as usize;
+        self.samples[idx]
+    }
+
+    /// Fraction of samples `<= x`; 0.0 when empty.
+    pub fn fraction_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|s| *s <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Emits `(value, cumulative_fraction)` points suitable for plotting,
+    /// down-sampled to at most `max_points`.
+    pub fn points(&mut self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = (n / max_points).max(1);
+        let mut out = Vec::with_capacity(n / step + 1);
+        let mut i = step - 1;
+        while i < n {
+            out.push((self.samples[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|p| p.1) != Some(1.0) {
+            out.push((self.samples[n - 1], 1.0));
+        }
+        out
+    }
+
+    /// Minimum sample (0.0 when empty).
+    pub fn min(&mut self) -> f64 {
+        self.quantile(0.0)
+    }
+
+    /// Maximum sample (0.0 when empty).
+    pub fn max(&mut self) -> f64 {
+        self.quantile(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_var() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for (i, x) in data.iter().enumerate() {
+            all.add(*x);
+            if i % 2 == 0 {
+                a.add(*x)
+            } else {
+                b.add(*x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.add(i as f64 + 0.5);
+        }
+        assert_eq!(h.total(), 100);
+        assert!((h.quantile(0.5) - 49.0).abs() <= 1.0);
+        assert!((h.quantile(0.99) - 98.0).abs() <= 1.0);
+        h.add(-5.0);
+        h.add(1000.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn cdf_quantiles_and_points() {
+        let mut c = Cdf::new();
+        for i in (1..=100).rev() {
+            c.add(i as f64);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 100.0);
+        assert!((c.quantile(0.5) - 50.0).abs() <= 1.0);
+        assert!((c.fraction_below(25.0) - 0.25).abs() < 0.02);
+        let pts = c.points(10);
+        assert!(pts.len() <= 11);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn cdf_empty_is_safe() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), 0.0);
+        assert_eq!(c.fraction_below(1.0), 0.0);
+        assert!(c.points(5).is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across crates.
+
+use adainf::core::regression::PowerLawScaler;
+use adainf::gpusim::content::{ContentKey, TaskContext};
+use adainf::gpusim::memory::AccessIntent;
+use adainf::gpusim::{EvictionPolicyKind, GpuMemory, MemoryConfig};
+use adainf::driftgen::{RetrainPool, TaskStream, TaskStreamConfig};
+use adainf::gpusim::{LatencyModel, StructureCost};
+use adainf::nn::metrics::{js_divergence, normalize_hist};
+use adainf::nn::Matrix;
+use adainf::simcore::{Cdf, OnlineStats, Prng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Worst-case latency is monotone in the request count for any
+    /// structure, batch and fraction.
+    #[test]
+    fn worst_case_monotone_in_requests(
+        flops in 1.0e6f64..1.0e9,
+        act in 1.0e4f64..1.0e7,
+        batch_idx in 0usize..7,
+        frac in 0.01f64..1.0,
+        n in 1u32..200,
+    ) {
+        let model = LatencyModel::default();
+        let cost = StructureCost { flops_per_sample: flops, activation_bytes: act, param_bytes: 1e7 };
+        let batch = adainf::gpusim::latency::BATCH_CANDIDATES[batch_idx];
+        let a = model.worst_case(&cost, n, batch, frac);
+        let b = model.worst_case(&cost, n + 1, batch, frac);
+        prop_assert!(b >= a, "n {n}: {a:?} > {b:?}");
+    }
+
+    /// More GPU space never hurts at a fixed configuration.
+    #[test]
+    fn latency_monotone_in_fraction(
+        flops in 1.0e6f64..1.0e9,
+        batch_idx in 0usize..7,
+        lo in 0.01f64..0.5,
+        delta in 0.01f64..0.5,
+    ) {
+        let model = LatencyModel::default();
+        let cost = StructureCost { flops_per_sample: flops, activation_bytes: 1e6, param_bytes: 1e7 };
+        let batch = adainf::gpusim::latency::BATCH_CANDIDATES[batch_idx];
+        let slow = model.per_batch_inference(&cost, batch, lo);
+        let fast = model.per_batch_inference(&cost, batch, lo + delta);
+        prop_assert!(fast <= slow);
+    }
+
+    /// The optimal batch's worst case is no worse than any candidate's.
+    #[test]
+    fn optimal_batch_is_optimal(
+        flops in 1.0e6f64..1.0e9,
+        n in 1u32..256,
+        frac in 0.02f64..1.0,
+    ) {
+        let model = LatencyModel::default();
+        let cost = StructureCost { flops_per_sample: flops, activation_bytes: 1e6, param_bytes: 1e7 };
+        let (_, best) = model.optimal_batch(&cost, n, frac);
+        for &b in &adainf::gpusim::latency::BATCH_CANDIDATES {
+            prop_assert!(best <= model.worst_case(&cost, n, b, frac));
+        }
+    }
+
+    /// `samples_within` never overshoots its budget (by more than one
+    /// batch's rounding).
+    #[test]
+    fn samples_within_respects_budget(
+        flops in 1.0e6f64..5.0e8,
+        batch_idx in 0usize..7,
+        frac in 0.02f64..1.0,
+        budget_ms in 1.0f64..2000.0,
+    ) {
+        let model = LatencyModel::default();
+        let cost = StructureCost { flops_per_sample: flops, activation_bytes: 1e6, param_bytes: 1e7 };
+        let batch = adainf::gpusim::latency::BATCH_CANDIDATES[batch_idx];
+        let budget = adainf::simcore::SimDuration::from_millis_f64(budget_ms);
+        let n = model.samples_within(&cost, batch, frac, budget);
+        if n > 0 {
+            let used = model.training_latency(&cost, n, batch, 1, frac);
+            prop_assert!(used <= budget + model.per_batch_training(&cost, batch, frac));
+        }
+    }
+
+    /// Retraining pools hand out each sample exactly once, whatever the
+    /// priority permutation and take pattern.
+    #[test]
+    fn pool_consumption_is_a_partition(
+        n in 1usize..120,
+        takes in proptest::collection::vec(1usize..40, 1..12),
+        seed in 0u64..1000,
+    ) {
+        let root = Prng::new(seed);
+        let mut stream = TaskStream::new(TaskStreamConfig::new("t", 4, seed), &root);
+        let mut pool = RetrainPool::new(stream.sample(n));
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Prng::new(seed ^ 0xF00D);
+        rng.shuffle(&mut order);
+        pool.set_order(&order);
+        let mut seen = 0usize;
+        for t in takes {
+            let batch = pool.take(t);
+            seen += batch.len();
+        }
+        prop_assert!(seen <= n);
+        prop_assert_eq!(pool.used(), seen);
+        prop_assert_eq!(pool.remaining(), n - seen);
+        // Draining the rest never yields more than the pool held.
+        let rest = pool.take(usize::MAX);
+        prop_assert_eq!(seen + rest.len(), n);
+    }
+
+    /// The power-law scaler's inverse is consistent with its forward map.
+    #[test]
+    fn scaler_inverse_round_trips(
+        theta in 0.1f64..2.0,
+        latency in 1.0f64..10_000.0,
+        target_ratio in 1.0f64..50.0,
+    ) {
+        let s = PowerLawScaler { theta };
+        let target = latency * target_ratio; // reachable with g <= 1
+        let g = s.required_fraction(latency, target);
+        // The inverse clamps at g = 1e-4; the round trip only holds on
+        // the unclamped interior.
+        prop_assume!(g > 1.01e-4 && g < 0.999);
+        let achieved = s.scale(latency, g);
+        prop_assert!((achieved - target).abs() / target < 1e-6);
+    }
+
+    /// CDF quantiles are monotone and bounded by the sample range.
+    #[test]
+    fn cdf_quantiles_monotone(
+        samples in proptest::collection::vec(0.0f64..1e6, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut cdf = Cdf::new();
+        for s in &samples {
+            cdf.add(*s);
+        }
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+        prop_assert!(cdf.quantile(0.0) <= cdf.quantile(1.0));
+        prop_assert!(cdf.quantile(1.0) <= 1e6);
+    }
+
+    /// Welford merge equals sequential accumulation.
+    #[test]
+    fn online_stats_merge_associative(
+        a in proptest::collection::vec(-1e3f64..1e3, 0..50),
+        b in proptest::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let mut all = OnlineStats::new();
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for x in &a { all.add(*x); left.add(*x); }
+        for x in &b { all.add(*x); right.add(*x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    /// JS divergence is symmetric, non-negative and bounded by ln 2 for
+    /// arbitrary histograms.
+    #[test]
+    fn js_divergence_bounds(
+        p_raw in proptest::collection::vec(0.0f64..10.0, 2..12),
+    ) {
+        let q_raw: Vec<f64> = p_raw.iter().rev().cloned().collect();
+        let p = normalize_hist(&p_raw);
+        let q = normalize_hist(&q_raw);
+        let d1 = js_divergence(&p, &q);
+        let d2 = js_divergence(&q, &p);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!(d1 >= -1e-12);
+        prop_assert!(d1 <= 2.0f64.ln() + 1e-9);
+    }
+
+    /// Matrix transpose-multiply identities: `aᵀb` equals the explicit
+    /// transpose product and `a·bᵀ` matches element-wise dot products.
+    #[test]
+    fn matrix_transpose_identities(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = Prng::new(seed);
+        let data_a: Vec<f32> = (0..rows * cols).map(|_| rng.gauss() as f32).collect();
+        let data_b: Vec<f32> = (0..rows * cols).map(|_| rng.gauss() as f32).collect();
+        let a = Matrix::from_slice(rows, cols, &data_a);
+        let b = Matrix::from_slice(rows, cols, &data_b);
+        // aᵀ·b via t_matmul (cols × cols)
+        let tm = a.t_matmul(&b);
+        for i in 0..cols {
+            for j in 0..cols {
+                let mut dot = 0.0f32;
+                for r in 0..rows {
+                    dot += a.get(r, i) * b.get(r, j);
+                }
+                prop_assert!((tm.get(i, j) - dot).abs() < 1e-3);
+            }
+        }
+        // a·bᵀ via matmul_t (rows × rows)
+        let mt = a.matmul_t(&b);
+        for i in 0..rows {
+            for j in 0..rows {
+                let mut dot = 0.0f32;
+                for c in 0..cols {
+                    dot += a.get(i, c) * b.get(j, c);
+                }
+                prop_assert!((mt.get(i, j) - dot).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// GPU memory accounting is consistent under arbitrary access
+    /// sequences: `used()` never exceeds capacity (when every block
+    /// fits), every access returns a finite non-negative cost, and hits
+    /// are free.
+    #[test]
+    fn memory_accounting_invariants(
+        accesses in proptest::collection::vec(
+            (0u32..4, 0u32..3, 0u16..6, 1u64..400_000, proptest::bool::ANY),
+            1..120,
+        ),
+        policy_priority in proptest::bool::ANY,
+        capacity in 500_000u64..4_000_000,
+    ) {
+        let policy = if policy_priority {
+            EvictionPolicyKind::Priority
+        } else {
+            EvictionPolicyKind::Lru
+        };
+        let mut mem = GpuMemory::new(MemoryConfig {
+            gpu_capacity: capacity,
+            pin_capacity: capacity / 4,
+            policy,
+            record_reuse: true,
+            ..MemoryConfig::default()
+        });
+        let mut clock = 0u64;
+        for (app, model, layer, bytes, is_param) in accesses {
+            clock += 37;
+            let key = if is_param {
+                ContentKey::param(app, model, layer)
+            } else {
+                ContentKey::intermediate(app, model, layer, 1)
+            };
+            let intent = if is_param {
+                AccessIntent::Fetch
+            } else {
+                AccessIntent::Produce
+            };
+            let cost = mem.access(
+                key,
+                bytes,
+                TaskContext::Inference,
+                1,
+                model,
+                400.0,
+                intent,
+                adainf::simcore::SimTime::from_micros(clock),
+            );
+            prop_assert!(cost.as_micros() < 10_000_000, "absurd cost {cost:?}");
+            prop_assert!(
+                mem.used() <= capacity,
+                "used {} over capacity {capacity}",
+                mem.used()
+            );
+        }
+        let stats = mem.stats();
+        prop_assert!(stats.hits + stats.fetches + stats.produces > 0);
+        // Reuse intervals are non-decreasing in the recording clock.
+        for ev in mem.reuse_events() {
+            prop_assert!(ev.elapsed.as_micros() < clock + 1);
+        }
+    }
+
+    /// Streams stay normalised and bounded under arbitrary drift steps.
+    #[test]
+    fn stream_priors_stay_normalised(
+        prior_drift in 0.0f64..1.0,
+        mean_drift in 0.0f64..1.0,
+        periods in 1u32..30,
+        seed in 0u64..200,
+    ) {
+        let root = Prng::new(seed);
+        let mut s = TaskStream::new(
+            TaskStreamConfig::new("p", 5, seed).with_drift(prior_drift, mean_drift),
+            &root,
+        );
+        for _ in 0..periods {
+            s.advance_period();
+        }
+        let total: f64 = s.priors().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!(s.priors().iter().all(|p| *p > 0.0));
+        // Rotation drift preserves norms: samples stay bounded.
+        let batch = s.sample(50);
+        for v in batch.inputs.data() {
+            prop_assert!(v.abs() < 30.0, "unbounded feature {v}");
+        }
+    }
+}
