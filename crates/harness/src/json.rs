@@ -1,0 +1,109 @@
+//! Minimal JSON rendering, replacing the external serde_json
+//! dependency (the build environment has no registry access).
+//!
+//! Values are rendered bottom-up as `String`s: leaves via [`string`],
+//! [`num`] and friends, composites via [`array`] and [`object`].
+//! Objects pretty-print with two-space indentation; nested values are
+//! re-indented, so arbitrarily deep structures stay readable.
+
+/// Renders a string value, escaped and quoted.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float; non-finite values (which JSON cannot represent)
+/// become `null`.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders an optional float as a number or `null`.
+pub fn opt_num(x: Option<f64>) -> String {
+    match x {
+        Some(v) => num(v),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders any displayable integer.
+pub fn int(x: impl std::fmt::Display) -> String {
+    format!("{x}")
+}
+
+/// Renders a pre-rendered list of values as a JSON array (one line).
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// Renders `(key, pre-rendered value)` pairs as a pretty-printed JSON
+/// object with two-space indentation.
+pub fn object<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> String {
+    let mut body = Vec::new();
+    for (key, value) in fields {
+        // Re-indent nested multi-line values so nesting stays aligned.
+        let value = value.replace('\n', "\n  ");
+        body.push(format!("  {}: {}", string(key), value));
+    }
+    if body.is_empty() {
+        "{}".to_string()
+    } else {
+        format!("{{\n{}\n}}", body.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn numbers_and_nulls() {
+        assert_eq!(num(0.9), "0.9");
+        assert_eq!(num(2.0), "2");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(opt_num(None), "null");
+        assert_eq!(opt_num(Some(1.5)), "1.5");
+        assert_eq!(int(42u64), "42");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let inner = object([("k", num(1.0))]);
+        let outer = object([
+            ("name", string("x")),
+            ("vals", array([num(0.5), opt_num(None)])),
+            ("inner", inner),
+        ]);
+        assert!(outer.contains("\"name\": \"x\""));
+        assert!(outer.contains("\"vals\": [0.5, null]"));
+        assert!(outer.contains("  \"inner\": {\n    \"k\": 1\n  }"));
+        let empty: [(&str, String); 0] = [];
+        assert_eq!(object(empty), "{}");
+    }
+}

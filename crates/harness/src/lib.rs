@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod metrics;
 pub mod parallel;
 pub mod report;

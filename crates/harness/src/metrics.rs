@@ -1,10 +1,10 @@
 //! Metric collection for one simulation run.
 
+use crate::json;
 use adainf_simcore::time::PERIOD;
 use adainf_simcore::{
     Histogram, OnlineStats, PeriodSeries, SimDuration, SimTime, WindowSeries,
 };
-use serde::Serialize;
 
 /// Everything measured during one run. All series are indexed by
 /// simulated time; the paper's figures are projections of these streams.
@@ -154,7 +154,7 @@ impl RunMetrics {
 /// Full serializable export of a run: the summary plus every series a
 /// figure is built from, so results can be post-processed (plotted,
 /// diffed across builds) without re-running the simulation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunExport {
     /// Headline summary.
     pub summary: Summary,
@@ -188,12 +188,49 @@ impl RunMetrics {
 
     /// The full export as pretty JSON.
     pub fn export_json(&self) -> String {
-        serde_json::to_string_pretty(&self.export()).expect("export serialises")
+        self.export().to_json()
+    }
+}
+
+impl RunExport {
+    /// Renders the export as pretty JSON.
+    pub fn to_json(&self) -> String {
+        json::object([
+            ("summary", self.summary.to_json()),
+            (
+                "accuracy_per_period",
+                json::array(self.accuracy_per_period.iter().map(|v| json::opt_num(*v))),
+            ),
+            (
+                "finish_per_second",
+                json::array(self.finish_per_second.iter().map(|v| json::opt_num(*v))),
+            ),
+            (
+                "updated_model_per_period",
+                json::array(
+                    self.updated_model_per_period
+                        .iter()
+                        .map(|v| json::opt_num(*v)),
+                ),
+            ),
+            (
+                "retrain_gpu_seconds",
+                json::array(self.retrain_gpu_seconds.iter().map(|v| json::num(*v))),
+            ),
+            (
+                "samples_used",
+                json::array(self.samples_used.iter().map(|v| json::num(*v))),
+            ),
+            (
+                "utilization",
+                json::array(self.utilization.iter().map(|v| json::num(*v))),
+            ),
+        ])
     }
 }
 
 /// Serializable run summary (one row of the comparison tables).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Summary {
     /// Method name.
     pub name: String,
@@ -217,6 +254,30 @@ pub struct Summary {
     pub sched_overhead_ms: f64,
 }
 
+impl Summary {
+    /// Renders the summary as pretty JSON.
+    pub fn to_json(&self) -> String {
+        json::object([
+            ("name", json::string(&self.name)),
+            ("mean_accuracy", json::num(self.mean_accuracy)),
+            ("mean_finish_rate", json::num(self.mean_finish_rate)),
+            (
+                "mean_inference_latency_ms",
+                json::num(self.mean_inference_latency_ms),
+            ),
+            (
+                "mean_retrain_latency_ms",
+                json::num(self.mean_retrain_latency_ms),
+            ),
+            ("mean_utilization", json::num(self.mean_utilization)),
+            ("total_requests", json::int(self.total_requests)),
+            ("edge_cloud_gb", json::num(self.edge_cloud_gb)),
+            ("period_overhead_ms", json::num(self.period_overhead_ms)),
+            ("sched_overhead_ms", json::num(self.sched_overhead_ms)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,8 +295,9 @@ mod tests {
     fn summary_serialises() {
         let m = RunMetrics::new("AdaInf".into(), &[3, 2]);
         let s = m.summary();
-        let json = serde_json::to_string(&s).unwrap();
-        assert!(json.contains("AdaInf"));
+        let json = s.to_json();
+        assert!(json.contains("\"name\": \"AdaInf\""));
+        assert!(json.contains("\"total_requests\": 0"));
     }
 
     #[test]
@@ -245,9 +307,17 @@ mod tests {
         m.finish.record(SimTime::from_secs(10), 95.0, 100.0);
         m.add_retrain_gpu_time(SimTime::from_secs(10), 2.5);
         let json = m.export_json();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["summary"]["name"], "AdaInf");
-        assert_eq!(v["accuracy_per_period"][0], 0.9);
-        assert_eq!(v["retrain_gpu_seconds"][0], 2.5);
+        assert!(json.contains("\"name\": \"AdaInf\""));
+        assert!(json.contains("\"accuracy_per_period\": [0.9]"));
+        assert!(json.contains("\"retrain_gpu_seconds\": [2.5]"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+        );
     }
 }

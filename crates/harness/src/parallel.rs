@@ -6,10 +6,15 @@
 
 use crate::metrics::RunMetrics;
 use crate::sim::{run, RunConfig};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Runs every configuration, using up to `threads` worker threads
 /// (0 = one per configuration, capped at the available parallelism).
+///
+/// Work distribution is lock-free: workers claim job indices from one
+/// shared atomic counter and each writes its result into a dedicated
+/// slot, so many-core sweeps never contend on a queue or results lock.
 pub fn run_many(configs: Vec<RunConfig>, threads: usize) -> Vec<RunMetrics> {
     let n = configs.len();
     if n == 0 {
@@ -27,26 +32,30 @@ pub fn run_many(configs: Vec<RunConfig>, threads: usize) -> Vec<RunMetrics> {
         return configs.into_iter().map(run).collect();
     }
 
-    let jobs: Mutex<Vec<(usize, RunConfig)>> =
-        Mutex::new(configs.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<RunMetrics>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<RunMetrics>> = (0..n).map(|_| OnceLock::new()).collect();
+    let configs = &configs;
 
     std::thread::scope(|scope| {
         for _ in 0..max_threads {
             scope.spawn(|| loop {
-                let job = jobs.lock().pop();
-                let Some((idx, config)) = job else { break };
-                let metrics = run(config);
-                results.lock()[idx] = Some(metrics);
+                // Each index is claimed by exactly one worker, so the
+                // matching slot write can never collide.
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let metrics = run(configs[idx].clone());
+                if slots[idx].set(metrics).is_err() {
+                    unreachable!("slot {idx} claimed twice");
+                }
             });
         }
     });
 
-    results
-        .into_inner()
+    slots
         .into_iter()
-        .map(|m| m.expect("every job completed"))
+        .map(|slot| slot.into_inner().expect("every job completed"))
         .collect()
 }
 
