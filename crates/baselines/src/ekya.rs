@@ -24,6 +24,7 @@ use adainf_core::profiler::Profiler;
 use adainf_gpusim::{EvictionPolicyKind, ExecMode, GpuSpec};
 use adainf_simcore::time::{PERIOD, SESSION};
 use adainf_simcore::{SimDuration, SimTime};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Resource quantum the heuristic moves per step (fraction of the
@@ -45,8 +46,8 @@ const WINDOW_FRACTION: f64 = 0.6;
 
 /// The Ekya scheduler.
 pub struct EkyaScheduler {
-    profiler: Profiler,
-    specs: Vec<AppSpec>,
+    profiler: Arc<Profiler>,
+    specs: Arc<[AppSpec]>,
     /// Fraction of each app's share currently granted to retraining.
     retrain_split: Vec<f64>,
     /// When each app's bulk retraining finishes (edge GPUs freed and
@@ -55,11 +56,13 @@ pub struct EkyaScheduler {
 }
 
 impl EkyaScheduler {
-    /// Creates the scheduler for a fixed application set.
-    pub fn new(profiler: Profiler, specs: Vec<AppSpec>) -> Self {
+    /// Creates the scheduler for a fixed application set. `profiler` and
+    /// `specs` accept owned values or pre-shared `Arc`s.
+    pub fn new(profiler: impl Into<Arc<Profiler>>, specs: impl Into<Arc<[AppSpec]>>) -> Self {
+        let specs = specs.into();
         let n = specs.len();
         EkyaScheduler {
-            profiler,
+            profiler: profiler.into(),
             specs,
             retrain_split: vec![0.5; n],
             retrain_end: vec![SimTime::ZERO; n],

@@ -22,6 +22,7 @@ use adainf_gpusim::latency::BATCH_CANDIDATES;
 use adainf_gpusim::{EvictionPolicyKind, ExecMode, GpuSpec};
 use adainf_simcore::time::SESSION;
 use adainf_simcore::{SimDuration, SimTime};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Bytes shipped per retraining sample (a video frame plus metadata) —
@@ -42,27 +43,28 @@ pub const CLOUD_TRAIN: SimDuration = SimDuration::from_secs(13);
 
 /// The Scrooge scheduler (and its `Scrooge*` variant).
 pub struct ScroogeScheduler {
-    profiler: Profiler,
-    specs: Vec<AppSpec>,
+    profiler: Arc<Profiler>,
+    specs: Arc<[AppSpec]>,
     /// Proportional-share variant flag.
     star: bool,
 }
 
 impl ScroogeScheduler {
-    /// Creates Scrooge.
-    pub fn new(profiler: Profiler, specs: Vec<AppSpec>) -> Self {
+    /// Creates Scrooge. `profiler` and `specs` accept owned values or
+    /// pre-shared `Arc`s.
+    pub fn new(profiler: impl Into<Arc<Profiler>>, specs: impl Into<Arc<[AppSpec]>>) -> Self {
         ScroogeScheduler {
-            profiler,
-            specs,
+            profiler: profiler.into(),
+            specs: specs.into(),
             star: false,
         }
     }
 
     /// Creates the Scrooge* variant (proportional capacity division).
-    pub fn new_star(profiler: Profiler, specs: Vec<AppSpec>) -> Self {
+    pub fn new_star(profiler: impl Into<Arc<Profiler>>, specs: impl Into<Arc<[AppSpec]>>) -> Self {
         ScroogeScheduler {
-            profiler,
-            specs,
+            profiler: profiler.into(),
+            specs: specs.into(),
             star: true,
         }
     }

@@ -1,0 +1,71 @@
+//! Criterion benches guarding the engine's hot paths.
+//!
+//! * `gemm/*` — the `Matrix` multiply kernels driving every SGD
+//!   retraining step, in both the allocating and the `_into`
+//!   (caller-owned output) forms, at the MLP's steady-state shapes.
+//! * `decision_path/*` — the AdaInf §3.3.2 batch/structure search with
+//!   the decision cache on vs off.
+//! * `end_to_end/tiny_run` — one complete 20 s, 2-application
+//!   simulation through the public `run` entry point, so a regression
+//!   anywhere in the stack shows up even if every micro-bench holds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adainf_bench::decision_bench;
+use adainf_harness::sim::{run, RunConfig};
+use adainf_nn::Matrix;
+use adainf_simcore::{Prng, SimDuration};
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut Prng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gauss() as f32).collect();
+    Matrix::from_slice(rows, cols, &data)
+}
+
+/// Batch 32 through a 256→64 layer: the steady-state SGD shapes.
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = Prng::new(11);
+    let a = random_matrix(32, 256, &mut rng);
+    let b = random_matrix(256, 64, &mut rng);
+    let at = random_matrix(32, 256, &mut rng); // for selfᵀ × other
+    let bt = random_matrix(32, 64, &mut rng);
+    let wt = random_matrix(64, 256, &mut rng); // for self × otherᵀ
+    let mut out = Matrix::zeros(0, 0);
+
+    let mut group = c.benchmark_group("gemm");
+    group.bench_function("matmul_32x256x64_alloc", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    });
+    group.bench_function("matmul_into_32x256x64", |bch| {
+        bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out))
+    });
+    group.bench_function("t_matmul_into_256x32x64", |bch| {
+        bch.iter(|| black_box(&at).t_matmul_into(black_box(&bt), &mut out))
+    });
+    group.bench_function("matmul_t_into_32x256x64", |bch| {
+        bch.iter(|| black_box(&a).matmul_t_into(black_box(&wt), &mut out))
+    });
+    group.finish();
+}
+
+fn bench_decision_path(c: &mut Criterion) {
+    decision_bench::bench_decision_cache(c);
+}
+
+fn bench_tiny_run(c: &mut Criterion) {
+    let config = RunConfig {
+        duration: SimDuration::from_secs(20),
+        num_apps: 2,
+        seed: 1,
+        ..RunConfig::default()
+    };
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("tiny_run_2apps_20s", |b| {
+        b.iter(|| black_box(run(config.clone())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_decision_path, bench_tiny_run);
+criterion_main!(benches);

@@ -5,7 +5,8 @@
 //!   period heuristic 8.4 s, Scrooge's optimiser 100 ms; our in-simulator
 //!   decision paths are far cheaper, but their *relative* cost ordering
 //!   is preserved and the absolute numbers are what Table 1's regenerator
-//!   reports).
+//!   reports). Shared with the `table1` binary via
+//!   `adainf_bench::decision_bench`.
 //! * `period_planning/*` — drift detection + RI-DAG generation for the
 //!   8-app deployment (the "periodical DAG update").
 //! * `memory/eviction` — priority-eviction throughput of the GPU memory
@@ -15,101 +16,25 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use adainf_apps::{apps_for_count, AppRuntime};
-use adainf_baselines::{EkyaScheduler, ScroogeScheduler};
+use adainf_bench::decision_bench;
 use adainf_core::drift_detect::detect_drift;
-use adainf_core::plan::{Scheduler, SessionCtx};
-use adainf_core::profiler::Profiler;
-use adainf_core::{AdaInfConfig, AdaInfScheduler};
-use adainf_driftgen::workload::ArrivalConfig;
+use adainf_core::AdaInfConfig;
 use adainf_gpusim::content::{ContentKey, TaskContext};
 use adainf_gpusim::memory::AccessIntent;
-use adainf_gpusim::{EvictionPolicyKind, GpuMemory, GpuSpec, MemoryConfig};
+use adainf_gpusim::{EvictionPolicyKind, GpuMemory, MemoryConfig};
 use adainf_nn::pca::Pca;
 use adainf_nn::{EarlyExitMlp, Matrix, MlpConfig, TrainBatch};
-use adainf_simcore::{Prng, SimDuration, SimTime};
-
-fn build_apps() -> Vec<AppRuntime> {
-    let root = Prng::new(42);
-    apps_for_count(8)
-        .into_iter()
-        .map(|s| AppRuntime::new(s, ArrivalConfig::default(), 1000, &root))
-        .collect()
-}
+use adainf_simcore::{Prng, SimTime};
 
 fn bench_session_scheduling(c: &mut Criterion) {
-    let mut apps = build_apps();
-    for rt in &mut apps {
-        rt.advance_period();
-        rt.advance_period();
-    }
-    let specs: Vec<_> = apps.iter().map(|a| a.spec.clone()).collect();
-    let server = GpuSpec::with_gpus(4);
-    let predicted = vec![32u32; 8];
-    let pools: Vec<Vec<usize>> = apps
-        .iter()
-        .map(|rt| rt.pools.iter().map(|p| p.remaining()).collect())
-        .collect();
-
-    let mut group = c.benchmark_group("session_scheduling");
-    {
-        let mut sched =
-            AdaInfScheduler::new(AdaInfConfig::default(), Profiler::default(), specs.clone(), 7);
-        sched.on_period_start(&mut apps, &server, SimTime::ZERO);
-        let ctx = SessionCtx {
-            now: SimTime::ZERO,
-            predicted: &predicted,
-            server: &server,
-            free_gpus: 4.0,
-            avg_job_time: SimDuration::from_millis(60),
-            pool_remaining: &pools,
-        };
-        group.bench_function("adainf", |b| {
-            b.iter(|| black_box(sched.on_session(black_box(&ctx))))
-        });
-    }
-    {
-        let mut sched = EkyaScheduler::new(Profiler::default(), specs.clone());
-        sched.on_period_start(&mut apps, &server, SimTime::ZERO);
-        let ctx = SessionCtx {
-            now: SimTime::from_secs(1),
-            predicted: &predicted,
-            server: &server,
-            free_gpus: 4.0,
-            avg_job_time: SimDuration::from_millis(60),
-            pool_remaining: &pools,
-        };
-        group.bench_function("ekya", |b| {
-            b.iter(|| black_box(sched.on_session(black_box(&ctx))))
-        });
-    }
-    {
-        let mut sched = ScroogeScheduler::new(Profiler::default(), specs);
-        sched.on_period_start(&mut apps, &server, SimTime::ZERO);
-        let ctx = SessionCtx {
-            now: SimTime::from_secs(1),
-            predicted: &predicted,
-            server: &server,
-            free_gpus: 4.0,
-            avg_job_time: SimDuration::from_millis(60),
-            pool_remaining: &pools,
-        };
-        group.bench_function("scrooge", |b| {
-            b.iter(|| black_box(sched.on_session(black_box(&ctx))))
-        });
-    }
-    group.finish();
+    decision_bench::bench_session_scheduling(c);
 }
 
 fn bench_period_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("period_planning");
     group.sample_size(10);
     group.bench_function("drift_detection_8_apps", |b| {
-        let mut apps = build_apps();
-        for rt in &mut apps {
-            rt.advance_period();
-            rt.advance_period();
-        }
+        let mut apps = decision_bench::Scenario::standard().apps;
         let config = AdaInfConfig::default();
         let mut rng = Prng::new(1);
         b.iter(|| {

@@ -42,7 +42,7 @@ fn main() {
         (
             "heterogeneous fleet 2x1.0+4x0.5",
             RunConfig {
-                device_factors: vec![1.0, 1.0, 0.5, 0.5, 0.5, 0.5],
+                device_factors: vec![1.0, 1.0, 0.5, 0.5, 0.5, 0.5].into(),
                 ..base.clone()
             },
         ),

@@ -1,4 +1,21 @@
 //! Regenerates table1 of the paper. `--fast` / `--full` adjust the horizon.
+//!
+//! Unlike the other figure binaries this one first runs the embedded
+//! criterion decision-latency bench (`decision_bench`) so the "session
+//! scheduling" column reports the measured cost of one `on_session`
+//! call rather than the in-run mean.
+use adainf_bench::{decision_bench, experiments};
+
 fn main() {
-    adainf_bench::main_for("table1", adainf_bench::experiments::table1);
+    let args: Vec<String> = std::env::args().collect();
+    let scale = experiments::Scale::from_args(&args);
+    eprintln!("[table1] running at {scale:?} scale …");
+    let t0 = std::time::Instant::now();
+    let sched_us = decision_bench::measured_decision_latency_us();
+    for (name, us) in &sched_us {
+        eprintln!("[table1] decision latency {name}: {us:.2} µs");
+    }
+    let out = experiments::table1_with_decision_bench(scale, &sched_us);
+    println!("{out}");
+    eprintln!("[table1] done in {:.1}s", t0.elapsed().as_secs_f64());
 }

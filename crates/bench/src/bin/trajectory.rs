@@ -4,11 +4,60 @@
 //! Fig 3 directly visible — AdaInf recovers smoothly from the start of
 //! each period, Ekya steps up at its ~22 s retraining completion,
 //! Scrooge only near the period end.
+//!
+//! Doubles as the repo's perf-trajectory harness: each method's run is
+//! wall-clock timed and the totals are written to `BENCH_sim.json`
+//! (per-suite wall seconds, sessions/sec, mean scheduler-decision µs,
+//! decision-cache hit rate) so every PR's perf delta is visible. The
+//! simulated results are unaffected by the timing — runs are
+//! deterministic functions of their configs.
 use adainf_core::AdaInfConfig;
 use adainf_harness::experiments::Scale;
+use adainf_harness::json;
+use adainf_harness::metrics::RunMetrics;
 use adainf_harness::parallel::run_many;
 use adainf_harness::report::table;
 use adainf_harness::sim::{Method, RunConfig};
+use std::time::Instant;
+
+/// One timed suite: the run's metrics plus its wall-clock seconds.
+struct TimedRun {
+    metrics: RunMetrics,
+    wall_s: f64,
+}
+
+fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
+    let suites = runs.iter().map(|r| {
+        let m = &r.metrics;
+        let sessions = m.sched_overhead.count();
+        json::object([
+            ("name", json::string(&m.name)),
+            ("wall_s", json::num(r.wall_s)),
+            ("sessions", json::int(sessions)),
+            (
+                "sessions_per_sec",
+                json::num(sessions as f64 / r.wall_s.max(1e-9)),
+            ),
+            (
+                "sched_decision_us",
+                json::num(m.sched_overhead.mean() * 1e3),
+            ),
+            ("cache_hit_rate", json::num(m.summary().cache_hit_rate)),
+        ])
+    });
+    let total_sessions: u64 =
+        runs.iter().map(|r| r.metrics.sched_overhead.count()).sum();
+    json::object([
+        ("generator", json::string("trajectory")),
+        ("scale", json::string(&format!("{scale:?}"))),
+        ("suites", json::array(suites)),
+        ("total_wall_s", json::num(total_wall_s)),
+        (
+            "total_sessions_per_sec",
+            json::num(total_sessions as f64 / total_wall_s.max(1e-9)),
+        ),
+    ])
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,16 +67,28 @@ fn main() {
         duration: adainf_simcore::SimDuration::from_secs(200),
         ..scale.base()
     };
-    let runs = run_many(
-        vec![
-            base.with_method(Method::AdaInf(AdaInfConfig::default())),
-            base.with_method(Method::Ekya),
-            base.with_method(Method::Scrooge),
-        ],
-        0,
-    );
-    let series: Vec<Vec<Option<f64>>> =
-        runs.iter().map(|m| m.accuracy_fine.ratios()).collect();
+    // Time each method's run separately (runs are independent, so the
+    // simulated output is identical to one batched run_many call).
+    let t0 = Instant::now();
+    let mut runs = Vec::new();
+    for config in [
+        base.with_method(Method::AdaInf(AdaInfConfig::default())),
+        base.with_method(Method::Ekya),
+        base.with_method(Method::Scrooge),
+    ] {
+        let start = Instant::now();
+        let metrics = run_many(vec![config], 0).pop().expect("one run");
+        runs.push(TimedRun {
+            metrics,
+            wall_s: start.elapsed().as_secs_f64(),
+        });
+    }
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    let series: Vec<Vec<Option<f64>>> = runs
+        .iter()
+        .map(|r| r.metrics.accuracy_fine.ratios())
+        .collect();
     let windows = series.iter().map(|s| s.len()).max().unwrap_or(0);
     let mut rows = Vec::new();
     for w in (0..windows).step_by(2) {
@@ -47,4 +108,12 @@ fn main() {
         "Intra-period accuracy trajectory (5 s windows, 100-200 s shown over two periods)\n{}",
         table(&["t", "AdaInf", "Ekya", "Scrooge"], &rows)
     );
+
+    let bench = bench_json(scale, &runs, total_wall_s);
+    match std::fs::write("BENCH_sim.json", format!("{bench}\n")) {
+        Ok(()) => eprintln!(
+            "[trajectory] wrote BENCH_sim.json ({total_wall_s:.2}s total wall)"
+        ),
+        Err(e) => eprintln!("[trajectory] could not write BENCH_sim.json: {e}"),
+    }
 }

@@ -14,6 +14,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod decision_bench;
+
 pub use adainf_harness::experiments;
 
 /// Entry helper shared by the figure binaries: parse scale, run, print.

@@ -35,6 +35,12 @@ pub struct AdaInfConfig {
     /// in one shot instead of choosing the batch at full GPU and
     /// re-adjusting after allocation ("Design Challenge").
     pub joint_batch_space: bool,
+    /// Memoise the per-session scheduling searches (§3.3) keyed on the
+    /// exact bit patterns of their inputs. Purely a performance switch:
+    /// cache hits replay decisions bit-identically, so results never
+    /// depend on this flag (enforced by the golden determinism tests,
+    /// which run with it off).
+    pub decision_cache: bool,
 
     // ---- Ablation switches (§5.2) ----
     /// `false` = AdaInf/I: spare time divided evenly instead of by impact.
@@ -70,6 +76,7 @@ impl Default for AdaInfConfig {
             retrain_epochs: 1,
             cpu_offload_threshold: 0,
             joint_batch_space: false,
+            decision_cache: true,
             use_impact_degrees: true,
             update_dag_each_period: true,
             slo_aware_space: true,

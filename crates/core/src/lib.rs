@@ -29,11 +29,14 @@
 //!   retraining-setting selection.
 //! * [`config`] — all tunables (α, `A_m`, `S`…) and the ablation switches
 //!   (/I, /U, /S, /E, /M1, /M2 of §5.2).
+//! * [`cache`] — exact memoisation of the per-session scheduling
+//!   searches, invalidated at period boundaries.
 //! * [`scheduler`] — [`scheduler::AdaInfScheduler`], tying it together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod drift_detect;
 pub mod incremental;

@@ -154,6 +154,12 @@ pub trait Scheduler {
     /// Session hook: one [`JobPlan`] per application with predicted
     /// requests > 0.
     fn on_session(&mut self, ctx: &SessionCtx<'_>) -> Vec<JobPlan>;
+
+    /// `(hits, misses)` of the scheduler's decision cache, if it has
+    /// one. Reported by the bench harness alongside wall-clock numbers.
+    fn cache_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 #[cfg(test)]

@@ -162,25 +162,24 @@ impl Profiler {
     /// selection: batch size is one of the profiled setting dimensions).
     pub fn best_train_batch(&self, cost: &StructureCost, g: f64) -> u32 {
         use adainf_gpusim::latency::BATCH_CANDIDATES;
-        BATCH_CANDIDATES
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let ra = a as f64
-                    / self
-                        .latency
-                        .per_batch_training(cost, a, g)
-                        .as_millis_f64()
-                        .max(1e-9);
-                let rb = b as f64
-                    / self
-                        .latency
-                        .per_batch_training(cost, b, g)
-                        .as_millis_f64()
-                        .max(1e-9);
-                ra.partial_cmp(&rb).expect("finite rates")
-            })
-            .unwrap_or(32)
+        // Evaluate each candidate's rate exactly once (a comparator
+        // passed to `max_by` re-derives both sides at every comparison).
+        // `>=` keeps the last of equal maxima, matching `max_by`.
+        let mut best = 32u32;
+        let mut best_rate = f64::NEG_INFINITY;
+        for &b in BATCH_CANDIDATES.iter() {
+            let rate = b as f64
+                / self
+                    .latency
+                    .per_batch_training(cost, b, g)
+                    .as_millis_f64()
+                    .max(1e-9);
+            if rate >= best_rate {
+                best = b;
+                best_rate = rate;
+            }
+        }
+        best
     }
 
     /// Latency of a retraining setting at fraction `g`.

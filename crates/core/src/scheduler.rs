@@ -11,16 +11,20 @@
 //! the period plan (Table 1 — the paper's AdaInf takes ~4.2 s for the
 //! periodical DAG update and ~2 ms per scheduling round).
 
+use crate::cache::DecisionCache;
 use crate::config::AdaInfConfig;
 use crate::drift_detect::{detect_drift, retrain_order, DriftReport};
 use crate::incremental::RetrainProgress;
 use crate::plan::{AppPeriodPlan, JobPlan, PeriodPlan, Scheduler, SessionCtx};
 use crate::profiler::Profiler;
 use crate::ridag::RiDag;
-use crate::space::{divide_space, divide_space_joint, JobDemand};
-use crate::timealloc::{allocate_time, strategies};
+use crate::space::{
+    divide_space, divide_space_cached, divide_space_joint, divide_space_joint_cached, JobDemand,
+};
+use crate::timealloc::{allocate_time, clamp_slices, plan_time, select_structures, strategies};
 use adainf_apps::{AppRuntime, AppSpec};
 use adainf_simcore::{Prng, SimDuration, SimTime};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-application scheduling state snapshotted at the period boundary.
@@ -31,6 +35,10 @@ struct AppState {
     /// new training samples (§3.3.2).
     acc_table: Vec<Vec<(usize, f64)>>,
     initial_acc: Vec<f64>,
+    /// Early-exit structure choice per node for this period (§3.3.2
+    /// step 1). The selection depends only on period state, never on a
+    /// session's GPU fraction or request count, so it is made once here.
+    cuts: Vec<usize>,
     /// AdaInf/U: the DAG freezes at its first non-empty detection ("it
     /// creates the retraining-inference DAG once").
     frozen: bool,
@@ -39,9 +47,11 @@ struct AppState {
 /// The AdaInf scheduler.
 pub struct AdaInfScheduler {
     config: AdaInfConfig,
-    profiler: Profiler,
+    /// Shared, immutable profiling tables (the harness hands the same
+    /// `Arc` to the world model — no per-construction clone).
+    profiler: Arc<Profiler>,
     rng: Prng,
-    specs: Vec<AppSpec>,
+    specs: Arc<[AppSpec]>,
     states: Vec<AppState>,
     /// Drift reports of the latest detection round (Table 2).
     pub last_reports: Vec<DriftReport>,
@@ -51,15 +61,24 @@ pub struct AdaInfScheduler {
     /// Cumulative wall-clock spent in session scheduling, and calls.
     sched_wall_ns: u128,
     sched_calls: u64,
+    /// Exact memoisation of the per-session searches (see [`crate::cache`]).
+    cache: DecisionCache,
 }
 
 impl AdaInfScheduler {
-    /// Creates the scheduler for a fixed application set.
-    pub fn new(config: AdaInfConfig, profiler: Profiler, specs: Vec<AppSpec>, seed: u64) -> Self {
+    /// Creates the scheduler for a fixed application set. `profiler` and
+    /// `specs` accept owned values or pre-shared `Arc`s.
+    pub fn new(
+        config: AdaInfConfig,
+        profiler: impl Into<Arc<Profiler>>,
+        specs: impl Into<Arc<[AppSpec]>>,
+        seed: u64,
+    ) -> Self {
+        let specs = specs.into();
         let n = specs.len();
         AdaInfScheduler {
             config,
-            profiler,
+            profiler: profiler.into(),
             rng: Prng::new(seed ^ 0x000A_DA1F),
             specs,
             states: vec![AppState::default(); n],
@@ -67,6 +86,7 @@ impl AdaInfScheduler {
             progress: RetrainProgress::new(),
             sched_wall_ns: 0,
             sched_calls: 0,
+            cache: DecisionCache::default(),
         }
     }
 
@@ -81,6 +101,11 @@ impl AdaInfScheduler {
             return std::time::Duration::ZERO;
         }
         std::time::Duration::from_nanos((self.sched_wall_ns / self.sched_calls as u128) as u64)
+    }
+
+    /// `(hits, misses)` of the decision cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.misses)
     }
 
     fn refresh_accuracy_tables(&mut self, apps: &mut [AppRuntime]) {
@@ -99,12 +124,38 @@ impl AdaInfScheduler {
             self.states[a].acc_table = table;
             self.states[a].initial_acc = init;
         }
+        // With the tables refreshed, make this period's structure choice
+        // per application (it is session-invariant, §3.3.2 step 1).
+        for a in 0..self.states.len() {
+            let state = &self.states[a];
+            let acc_table = &state.acc_table;
+            let acc = |node: usize, cut: usize| -> f64 {
+                acc_table
+                    .get(node)
+                    .and_then(|entries| {
+                        entries.iter().find(|(c, _)| *c == cut).map(|(_, a)| *a)
+                    })
+                    .unwrap_or(0.0)
+            };
+            let cuts = select_structures(
+                &self.specs[a],
+                &state.ridag,
+                &acc,
+                &state.initial_acc,
+                &self.config,
+            );
+            self.states[a].cuts = cuts;
+        }
     }
 }
 
 impl Scheduler for AdaInfScheduler {
     fn name(&self) -> String {
         self.config.variant_name().to_string()
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.misses)
     }
 
     fn on_period_start(
@@ -142,6 +193,9 @@ impl Scheduler for AdaInfScheduler {
             }
         }
         self.refresh_accuracy_tables(apps);
+        // Time plans are valid only for this period's DAGs and accuracy
+        // snapshots — drop the stale ones.
+        self.cache.start_period();
         // Register this period's retraining nodes with the progress
         // tracker.
         let registrations: Vec<((usize, usize), u32)> = self
@@ -215,21 +269,35 @@ impl Scheduler for AdaInfScheduler {
             .cloned()
             .collect();
 
-        let mut division = if self.config.joint_batch_space {
-            divide_space_joint(
+        let mut division = match (self.config.joint_batch_space, self.config.decision_cache) {
+            (true, true) => divide_space_joint_cached(
                 &gpu_demands,
                 ctx.server.total_space(),
                 ctx.avg_job_time,
                 &self.profiler,
-            )
-        } else {
-            divide_space(
+                &mut self.cache,
+            ),
+            (true, false) => divide_space_joint(
+                &gpu_demands,
+                ctx.server.total_space(),
+                ctx.avg_job_time,
+                &self.profiler,
+            ),
+            (false, true) => divide_space_cached(
                 &gpu_demands,
                 ctx.server.total_space(),
                 ctx.avg_job_time,
                 self.config.slo_aware_space,
                 &self.profiler,
-            )
+                &mut self.cache,
+            ),
+            (false, false) => divide_space(
+                &gpu_demands,
+                ctx.server.total_space(),
+                ctx.avg_job_time,
+                self.config.slo_aware_space,
+                &self.profiler,
+            ),
         };
         // Never over-commit the free capacity: scale down proportionally.
         let wanted: f64 = division.iter().map(|d| d.gpu).sum();
@@ -241,34 +309,64 @@ impl Scheduler for AdaInfScheduler {
         }
 
         let (mode, policy) = strategies(&self.config);
+        // Disjoint field borrows: the plan-cache closure reads specs and
+        // states while the cache and progress tracker are written.
+        let AdaInfScheduler {
+            config,
+            profiler,
+            specs,
+            states,
+            cache,
+            progress,
+            ..
+        } = self;
         let mut plans: Vec<JobPlan> = division
             .iter()
             .zip(&gpu_demands)
             .map(|(d, job)| {
-                let state = &self.states[job.app];
-                let spec = &self.specs[job.app];
-                let acc_table = &state.acc_table;
-                let acc = |node: usize, cut: usize| -> f64 {
-                    acc_table
-                        .get(node)
-                        .and_then(|entries| {
-                            entries.iter().find(|(c, _)| *c == cut).map(|(_, a)| *a)
-                        })
-                        .unwrap_or(0.0)
+                let state = &states[job.app];
+                let spec = &specs[job.app];
+                let (cuts, batch, slices) = if config.decision_cache {
+                    // The pool-independent plan is memoised; only the
+                    // clamp against the live pools runs per session.
+                    let plan = cache.plan(job.app, job.requests, d.gpu, || {
+                        plan_time(
+                            spec,
+                            &state.ridag,
+                            state.cuts.clone(),
+                            d.gpu,
+                            job.requests,
+                            config,
+                            profiler,
+                        )
+                    });
+                    let slices = clamp_slices(&plan.proto, &ctx.pool_remaining[job.app]);
+                    (plan.cuts.clone(), plan.batch, slices)
+                } else {
+                    let acc_table = &state.acc_table;
+                    let acc = |node: usize, cut: usize| -> f64 {
+                        acc_table
+                            .get(node)
+                            .and_then(|entries| {
+                                entries.iter().find(|(c, _)| *c == cut).map(|(_, a)| *a)
+                            })
+                            .unwrap_or(0.0)
+                    };
+                    let alloc = allocate_time(
+                        spec,
+                        &state.ridag,
+                        &acc,
+                        &state.initial_acc,
+                        d.gpu,
+                        job.requests,
+                        &ctx.pool_remaining[job.app],
+                        config,
+                        profiler,
+                    );
+                    (alloc.cuts, alloc.batch, alloc.slices)
                 };
-                let alloc = allocate_time(
-                    spec,
-                    &state.ridag,
-                    &acc,
-                    &state.initial_acc,
-                    d.gpu,
-                    job.requests,
-                    &ctx.pool_remaining[job.app],
-                    &self.config,
-                    &self.profiler,
-                );
-                for s in &alloc.slices {
-                    self.progress.record_slice(
+                for s in &slices {
+                    progress.record_slice(
                         job.app,
                         s.node,
                         s.samples,
@@ -279,9 +377,9 @@ impl Scheduler for AdaInfScheduler {
                 JobPlan {
                     app: job.app,
                     gpu: d.gpu,
-                    batch: alloc.batch,
-                    cuts: alloc.cuts,
-                    retrain: alloc.slices,
+                    batch,
+                    cuts,
+                    retrain: slices,
                     exec: mode,
                     eviction: policy,
                     serial: false,

@@ -8,6 +8,7 @@
 //! latency `L^i_w` down to its SLO `L^i_s`. The batch size is then
 //! re-adjusted for the actually allocated space (Obs. 6).
 
+use crate::cache::DecisionCache;
 use crate::profiler::Profiler;
 use adainf_gpusim::StructureCost;
 use adainf_simcore::time::SESSION;
@@ -38,6 +39,37 @@ pub struct JobSpace {
     pub batch: u32,
 }
 
+/// The SLO-derived demand fraction of one job (§3.3.1): the fraction the
+/// fitted regression says pulls the job's best full-GPU worst case down
+/// to its SLO. Depends only on the job's (spec-fixed) cost, SLO and
+/// request count — the memoisation axis of the decision cache.
+pub fn slo_demand(job: &JobDemand, profiler: &Profiler) -> f64 {
+    let (_b, l_w) = profiler.optimal_batch_full(&job.cost, job.requests);
+    profiler
+        .scaler
+        .required_fraction(l_w.as_millis_f64(), job.slo.as_millis_f64())
+        .max(1e-3)
+}
+
+/// The §6 joint `(fraction, batch)` choice of one job: for every batch
+/// candidate, invert the regression from that batch's own full-GPU worst
+/// case; keep the pair with the smallest fraction that meets the SLO.
+pub fn joint_choice(job: &JobDemand, profiler: &Profiler) -> (f64, u32) {
+    use adainf_gpusim::latency::BATCH_CANDIDATES;
+    BATCH_CANDIDATES
+        .iter()
+        .map(|&b| {
+            let full = profiler.worst_case_full(&job.cost, job.requests, b);
+            let g = profiler
+                .scaler
+                .required_fraction(full.as_millis_f64(), job.slo.as_millis_f64())
+                .max(1e-3);
+            (g, b)
+        })
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"))
+        .expect("candidates non-empty")
+}
+
 /// Divides `total_gpus` among the session's jobs.
 ///
 /// `avg_job_time` is the EWMA of recent job completion times (`T_a`);
@@ -48,6 +80,31 @@ pub fn divide_space(
     avg_job_time: SimDuration,
     slo_aware: bool,
     profiler: &Profiler,
+) -> Vec<JobSpace> {
+    divide_space_inner(jobs, total_gpus, avg_job_time, slo_aware, profiler, None)
+}
+
+/// [`divide_space`] with the demand inversion and batch re-adjustment
+/// memoised in `cache`. Bit-identical to the uncached division: the
+/// cache stores the exact values the searches would produce.
+pub fn divide_space_cached(
+    jobs: &[JobDemand],
+    total_gpus: f64,
+    avg_job_time: SimDuration,
+    slo_aware: bool,
+    profiler: &Profiler,
+    cache: &mut DecisionCache,
+) -> Vec<JobSpace> {
+    divide_space_inner(jobs, total_gpus, avg_job_time, slo_aware, profiler, Some(cache))
+}
+
+fn divide_space_inner(
+    jobs: &[JobDemand],
+    total_gpus: f64,
+    avg_job_time: SimDuration,
+    slo_aware: bool,
+    profiler: &Profiler,
+    mut cache: Option<&mut DecisionCache>,
 ) -> Vec<JobSpace> {
     if jobs.is_empty() {
         return Vec::new();
@@ -64,11 +121,10 @@ pub fn divide_space(
             if !slo_aware {
                 return 1.0;
             }
-            let (_b, l_w) = profiler.optimal_batch_full(&j.cost, j.requests);
-            profiler
-                .scaler
-                .required_fraction(l_w.as_millis_f64(), j.slo.as_millis_f64())
-                .max(1e-3)
+            match cache.as_deref_mut() {
+                Some(c) => c.demand(j.app, j.requests, || slo_demand(j, profiler)),
+                None => slo_demand(j, profiler),
+            }
         })
         .collect();
     let total_demand: f64 = demands.iter().sum();
@@ -77,7 +133,12 @@ pub fn divide_space(
         .zip(&demands)
         .map(|(j, d)| {
             let gpu = (session_pool * d / total_demand).clamp(1e-3, 1.0);
-            let (batch, _) = profiler.optimal_batch_at(&j.cost, j.requests, gpu);
+            let batch = match cache.as_deref_mut() {
+                Some(c) => c.batch_at(j.app, j.requests, gpu, || {
+                    profiler.optimal_batch_at(&j.cost, j.requests, gpu).0
+                }),
+                None => profiler.optimal_batch_at(&j.cost, j.requests, gpu).0,
+            };
             JobSpace {
                 app: j.app,
                 gpu,
@@ -98,7 +159,27 @@ pub fn divide_space_joint(
     avg_job_time: SimDuration,
     profiler: &Profiler,
 ) -> Vec<JobSpace> {
-    use adainf_gpusim::latency::BATCH_CANDIDATES;
+    divide_space_joint_inner(jobs, total_gpus, avg_job_time, profiler, None)
+}
+
+/// [`divide_space_joint`] with the per-job choice memoised in `cache`.
+pub fn divide_space_joint_cached(
+    jobs: &[JobDemand],
+    total_gpus: f64,
+    avg_job_time: SimDuration,
+    profiler: &Profiler,
+    cache: &mut DecisionCache,
+) -> Vec<JobSpace> {
+    divide_space_joint_inner(jobs, total_gpus, avg_job_time, profiler, Some(cache))
+}
+
+fn divide_space_joint_inner(
+    jobs: &[JobDemand],
+    total_gpus: f64,
+    avg_job_time: SimDuration,
+    profiler: &Profiler,
+    mut cache: Option<&mut DecisionCache>,
+) -> Vec<JobSpace> {
     if jobs.is_empty() {
         return Vec::new();
     }
@@ -107,19 +188,9 @@ pub fn divide_space_joint(
 
     let choices: Vec<(f64, u32)> = jobs
         .iter()
-        .map(|j| {
-            BATCH_CANDIDATES
-                .iter()
-                .map(|&b| {
-                    let full = profiler.worst_case_full(&j.cost, j.requests, b);
-                    let g = profiler
-                        .scaler
-                        .required_fraction(full.as_millis_f64(), j.slo.as_millis_f64())
-                        .max(1e-3);
-                    (g, b)
-                })
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"))
-                .expect("candidates non-empty")
+        .map(|j| match cache.as_deref_mut() {
+            Some(c) => c.joint(j.app, j.requests, || joint_choice(j, profiler)),
+            None => joint_choice(j, profiler),
         })
         .collect();
     let total_demand: f64 = choices.iter().map(|(g, _)| g).sum();

@@ -34,6 +34,38 @@ pub struct TimeAllocation {
     pub slices: Vec<RetrainSlice>,
 }
 
+/// A retraining slice before the pool bound is applied: `fit` samples
+/// fit in the budget; the live pool state caps it at plan time.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtoSlice {
+    /// DAG node (model) index.
+    pub node: usize,
+    /// Time budget of the slice.
+    pub time: SimDuration,
+    /// Samples that fit in the budget (uncapped).
+    pub fit: u32,
+    /// Retraining batch size.
+    pub batch: u32,
+    /// Epochs per slice.
+    pub epochs: u32,
+}
+
+/// The pool-independent part of a time division: everything except the
+/// clamp of slice samples against the remaining retraining pools. This
+/// is what the scheduler's decision cache stores — pools drain between
+/// sessions, so the clamp must be re-applied at every lookup.
+#[derive(Clone, Debug)]
+pub struct TimePlan {
+    /// Structure cut per DAG node.
+    pub cuts: Vec<usize>,
+    /// Re-adjusted request batch size.
+    pub batch: u32,
+    /// Estimated total inference time of the job.
+    pub inference_time: SimDuration,
+    /// Retraining slices before pool clamping.
+    pub proto: Vec<ProtoSlice>,
+}
+
 /// The memory-strategy pair implied by an AdaInf configuration.
 pub fn strategies(config: &AdaInfConfig) -> (ExecMode, EvictionPolicyKind) {
     let mode = if config.maximize_memory_usage {
@@ -49,26 +81,18 @@ pub fn strategies(config: &AdaInfConfig) -> (ExecMode, EvictionPolicyKind) {
     (mode, policy)
 }
 
-/// Divides the job's SLO time. `accuracy(node, cut)` is the scheduler's
-/// period-refreshed structure-accuracy snapshot; `initial_acc[node]` is
-/// `I_m`; `pool_remaining[node]` bounds the retraining samples available.
-#[allow(clippy::too_many_arguments)]
-pub fn allocate_time(
+/// Step 1 — early-exit structure selection per node. Depends only on
+/// the period's RI-DAG and refreshed accuracy snapshot, never on the
+/// session's GPU fraction or request count, so the scheduler computes
+/// it once per period.
+pub fn select_structures(
     app: &AppSpec,
     ridag: &RiDag,
     accuracy: &dyn Fn(usize, usize) -> f64,
     initial_acc: &[f64],
-    gpu: f64,
-    requests: u32,
-    pool_remaining: &[usize],
     config: &AdaInfConfig,
-    profiler: &Profiler,
-) -> TimeAllocation {
-    let (mode, policy) = strategies(config);
-
-    // 1. Structure selection per node.
-    let cuts: Vec<usize> = app
-        .nodes
+) -> Vec<usize> {
+    app.nodes
         .iter()
         .enumerate()
         .map(|(node, nspec)| {
@@ -88,7 +112,22 @@ pub fn allocate_time(
                 .find(|&cut| accuracy(node, cut) >= threshold)
                 .unwrap_or(full)
         })
-        .collect();
+        .collect()
+}
+
+/// Steps 2–4 for pre-selected structures, stopping short of the pool
+/// clamp: batch re-adjustment, inference/spare time and the
+/// impact-proportional split into (budget, fit, batch) settings.
+pub fn plan_time(
+    app: &AppSpec,
+    ridag: &RiDag,
+    cuts: Vec<usize>,
+    gpu: f64,
+    requests: u32,
+    config: &AdaInfConfig,
+    profiler: &Profiler,
+) -> TimePlan {
+    let (mode, policy) = strategies(config);
 
     // 2. Batch re-adjustment for the chosen structure.
     let dag_cost = app.structure_cost(&cuts);
@@ -104,7 +143,7 @@ pub fn allocate_time(
     };
 
     // 4. Impact-proportional split into retraining settings.
-    let mut slices = Vec::new();
+    let mut proto = Vec::new();
     if spare > SimDuration::ZERO && !ridag.entries.is_empty() {
         let total_impact = ridag.total_impact();
         let k = ridag.entries.len() as f64;
@@ -121,24 +160,68 @@ pub fn allocate_time(
             let cost = app.nodes[entry.node].profile.full_cost();
             let batch = profiler.best_train_batch(&cost, gpu);
             let fit = profiler.samples_within(&cost, batch, gpu, budget);
-            let samples = fit.min(pool_remaining[entry.node] as u32);
-            if samples == 0 {
-                continue;
-            }
-            slices.push(RetrainSlice {
+            proto.push(ProtoSlice {
                 node: entry.node,
                 time: budget,
-                samples,
+                fit,
                 batch,
                 epochs: config.retrain_epochs,
             });
         }
     }
 
-    TimeAllocation {
+    TimePlan {
         cuts,
         batch,
         inference_time,
+        proto,
+    }
+}
+
+/// Applies the live pool state to a plan's proto slices: each slice's
+/// samples are capped at the node's remaining pool, and empty slices
+/// are dropped.
+pub fn clamp_slices(proto: &[ProtoSlice], pool_remaining: &[usize]) -> Vec<RetrainSlice> {
+    proto
+        .iter()
+        .filter_map(|p| {
+            let samples = p.fit.min(pool_remaining[p.node] as u32);
+            if samples == 0 {
+                return None;
+            }
+            Some(RetrainSlice {
+                node: p.node,
+                time: p.time,
+                samples,
+                batch: p.batch,
+                epochs: p.epochs,
+            })
+        })
+        .collect()
+}
+
+/// Divides the job's SLO time. `accuracy(node, cut)` is the scheduler's
+/// period-refreshed structure-accuracy snapshot; `initial_acc[node]` is
+/// `I_m`; `pool_remaining[node]` bounds the retraining samples available.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_time(
+    app: &AppSpec,
+    ridag: &RiDag,
+    accuracy: &dyn Fn(usize, usize) -> f64,
+    initial_acc: &[f64],
+    gpu: f64,
+    requests: u32,
+    pool_remaining: &[usize],
+    config: &AdaInfConfig,
+    profiler: &Profiler,
+) -> TimeAllocation {
+    let cuts = select_structures(app, ridag, accuracy, initial_acc, config);
+    let plan = plan_time(app, ridag, cuts, gpu, requests, config, profiler);
+    let slices = clamp_slices(&plan.proto, pool_remaining);
+    TimeAllocation {
+        cuts: plan.cuts,
+        batch: plan.batch,
+        inference_time: plan.inference_time,
         slices,
     }
 }

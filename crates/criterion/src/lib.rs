@@ -27,6 +27,9 @@ pub struct Criterion {
     filter: Option<String>,
     /// All `(name, ns_per_iter)` results, for the final summary.
     results: Vec<(String, f64)>,
+    /// Suppresses per-benchmark stdout lines (embedded use, e.g. the
+    /// Table 1 regenerator measuring decision latency mid-report).
+    quiet: bool,
 }
 
 impl Default for Criterion {
@@ -35,6 +38,7 @@ impl Default for Criterion {
             measure_for: Duration::from_millis(300),
             filter: None,
             results: Vec::new(),
+            quiet: false,
         }
     }
 }
@@ -62,6 +66,21 @@ impl Criterion {
         c
     }
 
+    /// Embedded-measurement constructor: a short window and no stdout
+    /// reporting. Callers read the numbers back via [`Self::results`].
+    pub fn embedded(measure_for: Duration) -> Self {
+        Criterion {
+            measure_for,
+            quiet: true,
+            ..Criterion::default()
+        }
+    }
+
+    /// All `(benchmark id, mean ns/iter)` pairs measured so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
     /// Starts a named group; benchmark ids become `group/name`.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -85,8 +104,10 @@ impl Criterion {
             ns_per_iter: 0.0,
         };
         f(&mut bencher);
-        println!("bench: {id:<42} {:>12}/iter", fmt_ns(bencher.ns_per_iter));
-        println!("BENCH_RESULT {id} {:.1}", bencher.ns_per_iter);
+        if !self.quiet {
+            println!("bench: {id:<42} {:>12}/iter", fmt_ns(bencher.ns_per_iter));
+            println!("BENCH_RESULT {id} {:.1}", bencher.ns_per_iter);
+        }
         self.results.push((id.to_string(), bencher.ns_per_iter));
         self
     }
@@ -225,6 +246,7 @@ mod tests {
             measure_for: Duration::from_millis(5),
             filter: None,
             results: Vec::new(),
+            quiet: false,
         };
         c.bench_function("smoke/add", |b| {
             b.iter(|| black_box(2u64).wrapping_add(black_box(3)))
@@ -239,6 +261,7 @@ mod tests {
             measure_for: Duration::from_millis(2),
             filter: None,
             results: Vec::new(),
+            quiet: false,
         };
         let mut g = c.benchmark_group("g");
         g.sample_size(10);
@@ -253,6 +276,7 @@ mod tests {
             measure_for: Duration::from_millis(2),
             filter: Some("match".into()),
             results: Vec::new(),
+            quiet: false,
         };
         c.bench_function("other", |b| b.iter(|| black_box(1)));
         assert!(c.results.is_empty());

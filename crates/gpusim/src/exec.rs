@@ -407,7 +407,7 @@ mod tests {
         let model = LatencyModel::default();
         let task = inference_task(1, 1, 1, 16, 16);
         let mut mem = GpuMemory::new(MemoryConfig::default()); // ample memory
-        let res = run_concurrent(&[task.clone()], &model, &mut mem, ExecMode::LayerGrouped);
+        let res = run_concurrent(std::slice::from_ref(&task), &model, &mut mem, ExecMode::LayerGrouped);
         let expect = model.worst_case(&task.structure_cost(), 16, 16, 0.5);
         let got = res[0].compute;
         let diff = got.as_micros().abs_diff(expect.as_micros());
@@ -532,7 +532,7 @@ mod tests {
         let model = LatencyModel::default();
         let task = inference_task(1, 1, 1, 20, 16);
         let mut mem = GpuMemory::new(MemoryConfig::default());
-        let res = run_concurrent(&[task.clone()], &model, &mut mem, ExecMode::LayerGrouped);
+        let res = run_concurrent(std::slice::from_ref(&task), &model, &mut mem, ExecMode::LayerGrouped);
         let expect = model.worst_case(&task.structure_cost(), 20, 16, 0.5);
         let diff = res[0].compute.as_micros().abs_diff(expect.as_micros());
         assert!(diff <= expect.as_micros() / 20 + 20, "{:?} vs {expect:?}", res[0].compute);

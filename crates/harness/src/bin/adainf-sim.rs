@@ -92,6 +92,12 @@ fn main() {
         println!("mean retrain lat.    : {:.1} ms", s.mean_retrain_latency_ms);
         println!("edge-cloud traffic   : {:.1} GB", s.edge_cloud_gb);
         println!("scheduling wall time : {:.3} ms/session", s.sched_overhead_ms);
+        println!(
+            "decision-cache hits  : {:.1}% ({} hits / {} misses)",
+            s.cache_hit_rate * 100.0,
+            metrics.cache_hits,
+            metrics.cache_misses
+        );
         println!("\nper-application job latency (ms):");
         println!("  {:<4} {:>8} {:>8} {:>8}", "app", "p50", "p95", "p99");
         for app in 0..metrics.per_app_latency.len() {

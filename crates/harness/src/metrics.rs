@@ -48,6 +48,11 @@ pub struct RunMetrics {
     pub sched_overhead: OnlineStats,
     /// Total bytes shipped between edge and cloud (Table 1).
     pub edge_cloud_bytes: u64,
+    /// Scheduler decision-cache hits over the run (0 for schedulers
+    /// without a cache).
+    pub cache_hits: u64,
+    /// Scheduler decision-cache misses over the run.
+    pub cache_misses: u64,
     /// Total requests served.
     pub total_requests: u64,
     /// Retraining samples consumed per (app, node), cumulative.
@@ -92,6 +97,8 @@ impl RunMetrics {
             period_overhead: OnlineStats::new(),
             sched_overhead: OnlineStats::new(),
             edge_cloud_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             total_requests: 0,
             retrain_samples: node_counts.iter().map(|&n| vec![0; n]).collect(),
             per_app_latency: node_counts
@@ -130,6 +137,16 @@ impl RunMetrics {
         (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99))
     }
 
+    /// Decision-cache hit rate over the run (0 when no cache ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
     /// A compact summary row.
     pub fn summary(&self) -> Summary {
         Summary {
@@ -147,6 +164,7 @@ impl RunMetrics {
             edge_cloud_gb: self.edge_cloud_bytes as f64 / 1e9,
             period_overhead_ms: self.period_overhead.mean(),
             sched_overhead_ms: self.sched_overhead.mean(),
+            cache_hit_rate: self.cache_hit_rate(),
         }
     }
 }
@@ -252,6 +270,8 @@ pub struct Summary {
     pub period_overhead_ms: f64,
     /// Mean session-scheduling wall time (ms).
     pub sched_overhead_ms: f64,
+    /// Scheduler decision-cache hit rate (0 when no cache ran).
+    pub cache_hit_rate: f64,
 }
 
 impl Summary {
@@ -274,6 +294,7 @@ impl Summary {
             ("edge_cloud_gb", json::num(self.edge_cloud_gb)),
             ("period_overhead_ms", json::num(self.period_overhead_ms)),
             ("sched_overhead_ms", json::num(self.sched_overhead_ms)),
+            ("cache_hit_rate", json::num(self.cache_hit_rate)),
         ])
     }
 }

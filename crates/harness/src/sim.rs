@@ -35,6 +35,7 @@ use adainf_simcore::time::{PERIOD, SESSION};
 use adainf_simcore::{Prng, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which scheduling method a run uses.
@@ -83,8 +84,10 @@ pub struct RunConfig {
     /// the offline memory profiling and feed the result in here).
     pub comm: Option<CommProfile>,
     /// §6 extension: heterogeneous fleet speed factors (empty = a
-    /// homogeneous fleet of `num_gpus` reference GPUs).
-    pub device_factors: Vec<f64>,
+    /// homogeneous fleet of `num_gpus` reference GPUs). Shared so that
+    /// cloning a config (sweeps build dozens) bumps a refcount instead
+    /// of copying the list.
+    pub device_factors: Arc<[f64]>,
 }
 
 impl Default for RunConfig {
@@ -98,17 +101,20 @@ impl Default for RunConfig {
             pool_size: 6000,
             method: Method::AdaInf(AdaInfConfig::default()),
             comm: None,
-            device_factors: Vec::new(),
+            device_factors: Arc::from([]),
         }
     }
 }
 
 impl RunConfig {
-    /// Same run with a different method (for comparisons).
+    /// Same run with a different method (for comparisons). Does not
+    /// clone the replaced method; the remaining fields are `Copy` or
+    /// refcounted.
     pub fn with_method(&self, method: Method) -> RunConfig {
         RunConfig {
             method,
-            ..self.clone()
+            device_factors: Arc::clone(&self.device_factors),
+            ..*self
         }
     }
 }
@@ -119,21 +125,30 @@ impl RunConfig {
 struct PendingBulk {
     plan: BulkRetrain,
     samples: LabeledSamples,
-    applied: bool,
+}
+
+/// Per-session working buffers, reused across all ~200k sessions of a
+/// run instead of being reallocated each time.
+#[derive(Default)]
+struct SessionScratch {
+    actual: Vec<u32>,
+    predicted: Vec<u32>,
+    pool_remaining: Vec<Vec<usize>>,
+    served: Vec<bool>,
 }
 
 /// One end-to-end simulation.
 pub struct Simulation {
     config: RunConfig,
-    specs: Vec<AppSpec>,
+    specs: Arc<[AppSpec]>,
     apps: Vec<AppRuntime>,
     server: EdgeServer,
     scheduler: Box<dyn Scheduler>,
     metrics: RunMetrics,
     /// The "world" latency law and communication profile (identical to
-    /// the profiler's — offline profiling is accurate in the paper too).
-    latency: LatencyModel,
-    comm: CommProfile,
+    /// the scheduler's — offline profiling is accurate in the paper too),
+    /// shared with the scheduler rather than cloned into it.
+    profiler: Arc<Profiler>,
     /// (release time µs, milli-GPUs) of in-flight allocations.
     releases: BinaryHeap<Reverse<(u64, u64)>>,
     in_use_milli: u64,
@@ -162,6 +177,8 @@ pub struct Simulation {
     /// Per-app completion time of the last serial job (queueing for
     /// `JobPlan::serial` schedulers).
     serial_free_at: Vec<SimTime>,
+    /// Reusable per-session buffers.
+    scratch: SessionScratch,
 }
 
 /// Staged samples per (app, node) before an SGD step fires.
@@ -174,7 +191,7 @@ impl Simulation {
     /// Builds a run from its configuration.
     pub fn new(config: RunConfig) -> Self {
         let root = Prng::new(config.seed);
-        let specs = apps_for_count(config.num_apps);
+        let specs: Arc<[AppSpec]> = apps_for_count(config.num_apps).into();
         let arrival = ArrivalConfig {
             base_rate: config.base_rate,
             ..ArrivalConfig::default()
@@ -187,26 +204,31 @@ impl Simulation {
         let spec_hw = if config.device_factors.is_empty() {
             GpuSpec::with_gpus(config.num_gpus)
         } else {
-            GpuSpec::heterogeneous(config.device_factors.clone())
+            GpuSpec::heterogeneous(config.device_factors.to_vec())
         };
-        let profiler = match config.comm {
+        let profiler: Arc<Profiler> = Arc::new(match config.comm {
             Some(comm) => Profiler::new(LatencyModel::default(), comm),
             None => Profiler::default(),
-        };
+        });
         let scheduler: Box<dyn Scheduler> = match &config.method {
             Method::AdaInf(c) => Box::new(AdaInfScheduler::new(
                 c.clone(),
-                profiler.clone(),
-                specs.clone(),
+                Arc::clone(&profiler),
+                Arc::clone(&specs),
                 config.seed,
             )),
-            Method::Ekya => Box::new(EkyaScheduler::new(profiler.clone(), specs.clone())),
-            Method::Scrooge => {
-                Box::new(ScroogeScheduler::new(profiler.clone(), specs.clone()))
-            }
-            Method::ScroogeStar => {
-                Box::new(ScroogeScheduler::new_star(profiler.clone(), specs.clone()))
-            }
+            Method::Ekya => Box::new(EkyaScheduler::new(
+                Arc::clone(&profiler),
+                Arc::clone(&specs),
+            )),
+            Method::Scrooge => Box::new(ScroogeScheduler::new(
+                Arc::clone(&profiler),
+                Arc::clone(&specs),
+            )),
+            Method::ScroogeStar => Box::new(ScroogeScheduler::new_star(
+                Arc::clone(&profiler),
+                Arc::clone(&specs),
+            )),
         };
         let node_counts: Vec<usize> = specs.iter().map(|s| s.nodes.len()).collect();
         let n_apps_for_state = specs.len();
@@ -236,8 +258,7 @@ impl Simulation {
             server: EdgeServer::new(spec_hw),
             scheduler,
             metrics,
-            latency: profiler.latency.clone(),
-            comm: profiler.comm,
+            profiler,
             releases: BinaryHeap::new(),
             in_use_milli: 0,
             avg_job_time: SimDuration::from_millis(60),
@@ -249,6 +270,7 @@ impl Simulation {
             replay,
             rng: root.split(0x0051_ACE5),
             serial_free_at: vec![SimTime::ZERO; n_apps_for_state],
+            scratch: SessionScratch::default(),
             config,
         }
     }
@@ -275,12 +297,10 @@ impl Simulation {
             // Unapplied bulk retrainings whose data would vanish with the
             // pool refresh are applied late (their completion slipped
             // past the period end).
-            for i in 0..self.pending_bulk.len() {
-                if !self.pending_bulk[i].applied {
-                    self.apply_bulk(i);
-                }
+            let mut pending = std::mem::take(&mut self.pending_bulk);
+            for p in &mut pending {
+                self.apply_bulk(p);
             }
-            self.pending_bulk.clear();
             for a in 0..self.apps.len() {
                 for node in 0..self.apps[a].spec.nodes.len() {
                     self.flush_stage(a, node, 1);
@@ -359,24 +379,17 @@ impl Simulation {
                     .retrain_latency
                     .add(b.available_at.since(t).as_millis_f64());
             }
-            self.pending_bulk.push(PendingBulk {
-                plan: b,
-                samples,
-                applied: false,
-            });
+            self.pending_bulk.push(PendingBulk { plan: b, samples });
         }
     }
 
-    fn apply_bulk(&mut self, idx: usize) {
-        let (app, node) = {
-            let p = &self.pending_bulk[idx];
-            (p.plan.app, p.plan.node)
-        };
+    fn apply_bulk(&mut self, p: &mut PendingBulk) {
+        let (app, node) = (p.plan.app, p.plan.node);
         // Two SGD passes capture the accuracy effect of the configured
         // multi-epoch retraining (the heads converge in 1–2 passes; the
         // GPU time charged is the scheduler's full setting).
         let samples = std::mem::replace(
-            &mut self.pending_bulk[idx].samples,
+            &mut p.samples,
             LabeledSamples {
                 inputs: adainf_nn::Matrix::zeros(0, 1),
                 labels: Vec::new(),
@@ -386,17 +399,25 @@ impl Simulation {
             self.metrics.retrain_samples[app][node] += samples.len() as u64;
             self.apps[app].models[node].train_slice(&samples, 2);
         }
-        self.pending_bulk[idx].applied = true;
         self.updated_this_period[app][node] = true;
     }
 
     fn apply_due_bulk(&mut self, t: SimTime) {
-        for i in 0..self.pending_bulk.len() {
-            if !self.pending_bulk[i].applied && self.pending_bulk[i].plan.available_at <= t
-            {
-                self.apply_bulk(i);
-            }
+        // Fast path: nothing due this session (the common case — bulk
+        // retrainings land once per period, sessions run every 5 ms).
+        if self.pending_bulk.iter().all(|p| p.plan.available_at > t) {
+            return;
         }
+        let mut pending = std::mem::take(&mut self.pending_bulk);
+        pending.retain_mut(|p| {
+            if p.plan.available_at <= t {
+                self.apply_bulk(p);
+                false
+            } else {
+                true
+            }
+        });
+        self.pending_bulk = pending;
     }
 
     fn reserve(&mut self, gpu: f64, until: SimTime) {
@@ -418,30 +439,36 @@ impl Simulation {
     fn step_session(&mut self, t: SimTime) {
         self.release_due(t);
 
-        // Actual arrivals and predictions.
+        // Actual arrivals and predictions, into the reused buffers (taken
+        // out of `self` so the session context can borrow them while the
+        // scheduler and metrics fields stay mutable).
+        let mut scratch = std::mem::take(&mut self.scratch);
         let n_apps = self.apps.len();
-        let mut actual = vec![0u32; n_apps];
-        let mut predicted = vec![0u32; n_apps];
+        scratch.actual.clear();
+        scratch.predicted.clear();
         for a in 0..n_apps {
-            actual[a] = self.apps[a].requests_in_session(t);
-            predicted[a] = self.predicted_ewma[a].round() as u32;
+            scratch.actual.push(self.apps[a].requests_in_session(t));
+            scratch.predicted.push(self.predicted_ewma[a].round() as u32);
         }
+        scratch
+            .pool_remaining
+            .resize_with(n_apps, Vec::new);
+        for (rt, dst) in self.apps.iter().zip(scratch.pool_remaining.iter_mut()) {
+            dst.clear();
+            dst.extend(rt.pools.iter().map(|p| p.remaining()));
+        }
+        let actual = &scratch.actual;
 
-        let pool_remaining: Vec<Vec<usize>> = self
-            .apps
-            .iter()
-            .map(|rt| rt.pools.iter().map(|p| p.remaining()).collect())
-            .collect();
         let free = (self.server.spec().total_space()
             - self.in_use_milli as f64 / 1000.0)
             .max(0.0);
         let ctx = SessionCtx {
             now: t,
-            predicted: &predicted,
+            predicted: &scratch.predicted,
             server: self.server.spec(),
             free_gpus: free,
             avg_job_time: self.avg_job_time,
-            pool_remaining: &pool_remaining,
+            pool_remaining: &scratch.pool_remaining,
         };
         let wall = Instant::now();
         let plans = self.scheduler.on_session(&ctx);
@@ -450,7 +477,9 @@ impl Simulation {
             .add(wall.elapsed().as_secs_f64() * 1e3);
         self.metrics.diag_free.add(free);
 
-        let mut served = vec![false; n_apps];
+        scratch.served.clear();
+        scratch.served.resize(n_apps, false);
+        let served = &mut scratch.served;
         for plan in plans {
             let app = plan.app;
             served[app] = true;
@@ -474,7 +503,7 @@ impl Simulation {
                     continue;
                 }
                 let cost = self.specs[app].nodes[slice.node].profile.full_cost();
-                let time = self.latency.training_latency(
+                let time = self.profiler.latency.training_latency(
                     &cost,
                     batch.len() as u32,
                     slice.batch,
@@ -496,10 +525,11 @@ impl Simulation {
             // Inference execution (host CPU for §6-offloaded jobs).
             let cost = self.specs[app].structure_cost(&plan.cuts);
             let inference = if plan.cpu {
-                self.latency.cpu_inference(&cost, n)
+                self.profiler.latency.cpu_inference(&cost, n)
             } else {
-                let inflation = self.comm.inflation(plan.exec, plan.eviction);
-                self.latency
+                let inflation = self.profiler.comm.inflation(plan.exec, plan.eviction);
+                self.profiler
+                    .latency
                     .worst_case(&cost, n, plan.batch, plan.gpu)
                     .mul_f64(inflation)
             };
@@ -621,6 +651,8 @@ impl Simulation {
             self.predicted_ewma[a] =
                 self.predicted_ewma[a] * 0.7 + actual[a] as f64 * 0.3;
         }
+
+        self.scratch = scratch;
     }
 
     /// Stages a retraining slice; fires an SGD step once a full batch of
@@ -677,6 +709,9 @@ impl Simulation {
     }
 
     fn finalize(&mut self) {
+        let (hits, misses) = self.scheduler.cache_stats();
+        self.metrics.cache_hits = hits;
+        self.metrics.cache_misses = misses;
         let alloc = self.server.utilization_per_second();
         // nvidia-smi-style utilization: a GPU counts as utilized in any
         // second in which kernels were resident — with hundreds of
@@ -709,7 +744,7 @@ mod tests {
             pool_size: 400,
             method,
             comm: None,
-            device_factors: Vec::new(),
+            device_factors: Arc::from([]),
         }
     }
 

@@ -66,6 +66,15 @@ pub struct DenseCache {
     pub pre: Matrix,
 }
 
+/// Reusable parameter-gradient buffers for [`Dense::backward_scratch`].
+/// Holding one of these across SGD steps makes the backward pass free
+/// of heap allocations in steady state.
+#[derive(Clone, Debug, Default)]
+pub struct GradScratch {
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+}
+
 impl Dense {
     /// Creates a He-initialised layer.
     pub fn new(in_dim: usize, out_dim: usize, relu: bool, rng: &mut Prng) -> Self {
@@ -98,12 +107,9 @@ impl Dense {
 
     /// Forward pass; returns the activation and the cache for backward.
     pub fn forward(&self, input: &Matrix) -> (Matrix, DenseCache) {
-        let mut pre = input.matmul(&self.weights);
-        pre.add_row_vec(&self.bias);
-        let mut out = pre.clone();
-        if self.relu {
-            out.relu_inplace();
-        }
+        let mut pre = Matrix::default();
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut pre, &mut out);
         (
             out,
             DenseCache {
@@ -113,14 +119,33 @@ impl Dense {
         )
     }
 
+    /// Forward pass writing the pre-activation into `pre` and the
+    /// activation into `out`, both reshaped in place. Allocation-free
+    /// once the buffers have warmed up; values match [`Self::forward`]
+    /// exactly.
+    pub fn forward_into(&self, input: &Matrix, pre: &mut Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weights, pre);
+        pre.add_row_vec(&self.bias);
+        out.copy_from(pre);
+        if self.relu {
+            out.relu_inplace();
+        }
+    }
+
     /// Forward pass without caching (inference).
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        let mut pre = input.matmul(&self.weights);
-        pre.add_row_vec(&self.bias);
+        let mut out = Matrix::default();
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    /// Inference forward pass into a caller-owned buffer.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weights, out);
+        out.add_row_vec(&self.bias);
         if self.relu {
-            pre.relu_inplace();
+            out.relu_inplace();
         }
-        pre
     }
 
     /// Backward pass with SGD-momentum (kept as the common fast path).
@@ -144,31 +169,68 @@ impl Dense {
         mut grad_out: Matrix,
         update: Update,
     ) -> Matrix {
+        let mut grad_in = Matrix::default();
+        let mut scratch = GradScratch::default();
+        self.backward_scratch(
+            &cache.input,
+            &cache.pre,
+            &mut grad_out,
+            update,
+            &mut grad_in,
+            &mut scratch,
+        );
+        grad_in
+    }
+
+    /// Allocation-free backward pass. `input`/`pre` are the forward
+    /// activations (what a [`DenseCache`] holds), `grad_out` is the
+    /// gradient w.r.t. this layer's output (mutated in place by the
+    /// ReLU mask), `grad_in` receives the gradient w.r.t. the input,
+    /// and `scratch` holds the reusable parameter-gradient buffers.
+    /// Arithmetic and update order match [`Self::backward_with`]
+    /// exactly, so results are bit-identical.
+    pub fn backward_scratch(
+        &mut self,
+        input: &Matrix,
+        pre: &Matrix,
+        grad_out: &mut Matrix,
+        update: Update,
+        grad_in: &mut Matrix,
+        scratch: &mut GradScratch,
+    ) {
         if self.relu {
-            grad_out.relu_backward_inplace(&cache.pre);
+            grad_out.relu_backward_inplace(pre);
         }
-        let batch = cache.input.rows().max(1) as f32;
+        let batch = input.rows().max(1) as f32;
         // Gradient w.r.t. input, for the upstream layer.
-        let grad_in = grad_out.matmul_t(&self.weights);
+        grad_out.matmul_t_into(&self.weights, grad_in);
         // Parameter gradients, element-clamped for robustness against
         // pathological batches (a standard safeguard in online training).
-        let mut grad_w = cache.input.t_matmul(&grad_out);
+        let grad_w = &mut scratch.grad_w;
+        input.t_matmul_into(grad_out, grad_w);
         grad_w.scale(1.0 / batch);
         for g in grad_w.data_mut() {
             *g = g.clamp(-5.0, 5.0);
         }
-        let mut grad_b = grad_out.col_sums();
-        for g in &mut grad_b {
+        let grad_b = &mut scratch.grad_b;
+        grad_out.col_sums_into(grad_b);
+        for g in grad_b.iter_mut() {
             *g = (*g / batch).clamp(-5.0, 5.0);
         }
+        self.apply_update(update, &scratch.grad_w, &scratch.grad_b);
+    }
+
+    /// Applies one optimizer step given batch-averaged, clamped
+    /// parameter gradients.
+    fn apply_update(&mut self, update: Update, grad_w: &Matrix, grad_b: &[f32]) {
         match update {
             Update::SgdMomentum { lr, momentum } => {
                 // Momentum update: v = m·v − lr·g ; w += v.
                 self.vel_w.scale(momentum);
-                self.vel_w.axpy(-lr, &grad_w);
+                self.vel_w.axpy(-lr, grad_w);
                 self.weights.axpy(1.0, &self.vel_w);
                 for ((b, v), g) in
-                    self.bias.iter_mut().zip(&mut self.vel_b).zip(&grad_b)
+                    self.bias.iter_mut().zip(&mut self.vel_b).zip(grad_b)
                 {
                     *v = momentum * *v - lr * g;
                     *b += *v;
@@ -200,7 +262,7 @@ impl Dense {
                     .bias
                     .iter_mut()
                     .zip(&mut self.vel_b)
-                    .zip(self.adam_v_b.iter_mut().zip(&grad_b))
+                    .zip(self.adam_v_b.iter_mut().zip(grad_b))
                 {
                     *m = beta1 * *m + (1.0 - beta1) * g;
                     *v = beta2 * *v + (1.0 - beta2) * g * g;
@@ -208,7 +270,6 @@ impl Dense {
                 }
             }
         }
-        grad_in
     }
 
     /// Flattens the parameters into `out` (used by parameter averaging).
@@ -305,8 +366,8 @@ mod tests {
             let (y, cache) = layer.forward(&x);
             let mut grad = Matrix::zeros(4, 1);
             let mut loss = 0.0;
-            for r in 0..4 {
-                let e = y.get(r, 0) - target[r];
+            for (r, &tgt) in target.iter().enumerate() {
+                let e = y.get(r, 0) - tgt;
                 loss += e * e;
                 grad.set(r, 0, 2.0 * e);
             }

@@ -93,65 +93,235 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes this matrix to `rows × cols` and fills it with zeros,
+    /// reusing the existing allocation when capacity permits. This is
+    /// the reset primitive behind the `*_into` GEMM variants, which lets
+    /// scratch buffers be reused across SGD steps without reallocating.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src` into this matrix, reusing the existing allocation
+    /// when capacity permits.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// `self × other`.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self × other`, written into `out` (reshaped and zeroed in
+    /// place). The i→k→j loop order keeps the inner loop a straight
+    /// `axpy` over contiguous rows, which the compiler autovectorises;
+    /// per-element accumulation order is the k order, identical to
+    /// [`Self::matmul`], so results are bit-identical.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset_zeroed(self.rows, other.cols);
+        let w = other.cols;
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
+            let arow = self.row(i);
+            let out_row = out.row_mut(i);
+            // Four k steps per pass: each output element still receives
+            // its four contributions in ascending k order (bit-exact
+            // against the one-step loop), but the output row is loaded
+            // and stored once per four steps instead of every step.
+            let mut k = 0;
+            while k + 8 <= arow.len() {
+                let a = &arow[k..k + 8];
+                let b = &other.data[k * w..(k + 8) * w];
+                let (b0, rest) = b.split_at(w);
+                let (b1, rest) = rest.split_at(w);
+                let (b2, rest) = rest.split_at(w);
+                let (b3, rest) = rest.split_at(w);
+                let (b4, rest) = rest.split_at(w);
+                let (b5, rest) = rest.split_at(w);
+                let (b6, b7) = rest.split_at(w);
+                for ((((((((o, &v0), &v1), &v2), &v3), &v4), &v5), &v6), &v7) in out_row
+                    .iter_mut()
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                    .zip(b4)
+                    .zip(b5)
+                    .zip(b6)
+                    .zip(b7)
+                {
+                    let mut acc = *o;
+                    acc += a[0] * v0;
+                    acc += a[1] * v1;
+                    acc += a[2] * v2;
+                    acc += a[3] * v3;
+                    acc += a[4] * v4;
+                    acc += a[5] * v5;
+                    acc += a[6] * v6;
+                    acc += a[7] * v7;
+                    *o = acc;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, b) in out_row.iter_mut().zip(orow) {
+                k += 8;
+            }
+            for (&a, orow) in arow[k..].iter().zip(other.data[k * w..].chunks_exact(w)) {
+                for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ × other` without materialising the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ × other`, written into `out` (reshaped and zeroed in
+    /// place). Accumulation order per output element matches
+    /// [`Self::t_matmul`] exactly (row order of the operands).
+    ///
+    /// # Panics
+    /// Panics on row-count mismatch.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
+        out.reset_zeroed(self.cols, other.cols);
+        let m = self.rows;
+        // Four r steps per pass; per-output-element accumulation stays in
+        // ascending r order (bit-exact against the one-step loop) while
+        // each output row is loaded/stored once per four steps.
+        let mut r = 0;
+        while r + 4 <= m {
+            let (a0, a1, a2, a3) =
+                (self.row(r), self.row(r + 1), self.row(r + 2), self.row(r + 3));
+            let (b0, b1, b2, b3) = (
+                other.row(r),
+                other.row(r + 1),
+                other.row(r + 2),
+                other.row(r + 3),
+            );
+            for i in 0..self.cols {
+                let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+                let out_row = out.row_mut(i);
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    let mut acc = *o;
+                    acc += x0 * v0;
+                    acc += x1 * v1;
+                    acc += x2 * v2;
+                    acc += x3 * v3;
+                    *o = acc;
+                }
+            }
+            r += 4;
+        }
+        while r < m {
             let arow = self.row(r);
             let brow = other.row(r);
-            for (i, a) in arow.iter().enumerate() {
-                if *a == 0.0 {
-                    continue;
-                }
+            for (i, &a) in arow.iter().enumerate() {
                 let out_row = out.row_mut(i);
-                for (o, b) in out_row.iter_mut().zip(brow) {
+                for (o, &b) in out_row.iter_mut().zip(brow) {
                     *o += a * b;
                 }
             }
+            r += 1;
         }
-        out
     }
 
     /// `self × otherᵀ` without materialising the transpose.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// `self × otherᵀ`, written into `out` (reshaped in place). Each
+    /// output element is a single dot product of two contiguous rows,
+    /// evaluated in the same order as [`Self::matmul_t`].
+    ///
+    /// Output columns are processed four at a time: the four dot
+    /// products keep independent accumulators, so the additions of
+    /// *each* output element still happen in plain k order (bit-exact
+    /// against the one-at-a-time loop) while the FP add latency chain
+    /// is overlapped fourfold.
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.reset_zeroed(self.rows, other.rows);
+        let n = other.rows;
+        let w = other.cols;
         for i in 0..self.rows {
             let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
+            let out_row = out.row_mut(i);
+            let mut j = 0;
+            while j + 8 <= n {
+                let b = &other.data[j * w..(j + 8) * w];
+                let (b0, rest) = b.split_at(w);
+                let (b1, rest) = rest.split_at(w);
+                let (b2, rest) = rest.split_at(w);
+                let (b3, rest) = rest.split_at(w);
+                let (b4, rest) = rest.split_at(w);
+                let (b5, rest) = rest.split_at(w);
+                let (b6, b7) = rest.split_at(w);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((((((&a, &v0), &v1), &v2), &v3), &v4), &v5), &v6), &v7) in arow
+                    .iter()
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                    .zip(b4)
+                    .zip(b5)
+                    .zip(b6)
+                    .zip(b7)
+                {
+                    s0 += a * v0;
+                    s1 += a * v1;
+                    s2 += a * v2;
+                    s3 += a * v3;
+                    s4 += a * v4;
+                    s5 += a * v5;
+                    s6 += a * v6;
+                    s7 += a * v7;
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                out_row[j + 4] = s4;
+                out_row[j + 5] = s5;
+                out_row[j + 6] = s6;
+                out_row[j + 7] = s7;
+                j += 8;
+            }
+            for (o, brow) in out_row[j..].iter_mut().zip(other.data[j * w..].chunks_exact(w))
+            {
                 let mut acc = 0.0;
                 for (a, b) in arow.iter().zip(brow) {
                     acc += a * b;
                 }
-                out.set(i, j, acc);
+                *o = acc;
             }
         }
-        out
     }
 
     /// Adds a row vector (bias) to every row.
@@ -187,8 +357,14 @@ impl Matrix {
     /// Row-wise softmax, numerically stabilised.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
+        out.softmax_rows_inplace();
+        out
+    }
+
+    /// In-place row-wise softmax, numerically stabilised.
+    pub fn softmax_rows_inplace(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut total = 0.0;
             for x in row.iter_mut() {
@@ -199,7 +375,6 @@ impl Matrix {
                 *x /= total;
             }
         }
-        out
     }
 
     /// `self += k * other`, the SGD update primitive.
@@ -219,13 +394,21 @@ impl Matrix {
 
     /// Column sums returned as a vector (bias gradient).
     pub fn col_sums(&self) -> Vec<f32> {
-        let mut out = vec![0.0; self.cols];
+        let mut out = Vec::new();
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// Column sums written into `out` (resized in place), reusing its
+    /// allocation across calls.
+    pub fn col_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for (o, x) in out.iter_mut().zip(self.row(r)) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Mean of each column (used for mean feature vectors in §3.2).
@@ -251,6 +434,14 @@ impl Matrix {
                     .unwrap_or(0)
             })
             .collect()
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the natural seed for `*_into` scratch
+    /// buffers, which reshape on first use.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -287,6 +478,53 @@ mod tests {
         // a (2x3) × dᵀ (3x2) = 2x2; element (0,1) = row0(a)·row1(d) = 6*2
         let e = a.matmul_t(&d);
         assert_eq!(e.get(0, 1), 12.0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones_and_reuse_buffers() {
+        let mut rng = Prng::new(17);
+        let data_a: Vec<f32> = (0..4 * 5).map(|_| rng.gauss() as f32).collect();
+        let data_b: Vec<f32> = (0..5 * 3).map(|_| rng.gauss() as f32).collect();
+        let a = Matrix::from_slice(4, 5, &data_a);
+        let b = Matrix::from_slice(5, 3, &data_b);
+
+        // Scratch buffers deliberately start with the wrong shape and
+        // stale contents; every `_into` must reshape and overwrite.
+        let mut out = Matrix::from_slice(1, 2, &[9.0, 9.0]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let data_c: Vec<f32> = (0..4 * 3).map(|_| rng.gauss() as f32).collect();
+        let c = Matrix::from_slice(4, 3, &data_c);
+        a.t_matmul_into(&c, &mut out);
+        assert_eq!(out, a.t_matmul(&c));
+
+        let data_d: Vec<f32> = (0..2 * 5).map(|_| rng.gauss() as f32).collect();
+        let d = Matrix::from_slice(2, 5, &data_d);
+        a.matmul_t_into(&d, &mut out);
+        assert_eq!(out, a.matmul_t(&d));
+
+        // Zero entries in the left operand must not perturb results
+        // (the old implementation skipped them; the branch-free one
+        // multiplies through).
+        let sparse = Matrix::from_slice(2, 2, &[0.0, 1.0, 0.0, 0.0]);
+        let dense = Matrix::from_slice(2, 2, &[3.0, -4.0, 5.0, 6.0]);
+        assert_eq!(sparse.matmul(&dense).data(), &[5.0, 6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_from_and_reset_reuse_capacity() {
+        let src = Matrix::from_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut dst = Matrix::zeros(8, 8);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.reset_zeroed(3, 2);
+        assert_eq!(dst.rows(), 3);
+        assert_eq!(dst.cols(), 2);
+        assert!(dst.data().iter().all(|&x| x == 0.0));
+        let mut sums = vec![7.0; 9];
+        src.col_sums_into(&mut sums);
+        assert_eq!(sums, vec![5.0, 7.0, 9.0]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Training uses SGD with momentum on a weighted sum of the per-exit
 //! cross-entropy losses, so every exit remains usable after retraining.
 
-use crate::layer::{Dense, DenseCache, Update};
+use crate::layer::{Dense, GradScratch, Update};
 use crate::matrix::Matrix;
 use adainf_simcore::Prng;
 
@@ -88,11 +88,48 @@ pub struct TrainBatch {
 /// let acc = net.accuracy(&batch.inputs, &batch.labels, net.num_exits() - 1);
 /// assert!(acc > 0.95);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct EarlyExitMlp {
     trunk: Vec<Dense>,
     heads: Vec<Dense>,
     config: MlpConfig,
+    scratch: TrainScratch,
+}
+
+impl Clone for EarlyExitMlp {
+    /// Clones the parameters and optimizer state; the training scratch
+    /// buffers start empty in the clone (they re-warm on first use).
+    fn clone(&self) -> Self {
+        EarlyExitMlp {
+            trunk: self.trunk.clone(),
+            heads: self.heads.clone(),
+            config: self.config.clone(),
+            scratch: TrainScratch::default(),
+        }
+    }
+}
+
+/// Preallocated buffers reused by every [`EarlyExitMlp::train_batch`]
+/// call, so steady-state SGD retraining performs zero heap
+/// allocations: forward activations and pre-activations per trunk
+/// layer, softmax/gradient carriers, and per-layer parameter-gradient
+/// scratch.
+#[derive(Debug, Default)]
+struct TrainScratch {
+    /// Post-activation output of each trunk layer.
+    activations: Vec<Matrix>,
+    /// Pre-activation output of each trunk layer (ReLU mask input).
+    trunk_pre: Vec<Matrix>,
+    /// Head logits, softmaxed in place into class probabilities.
+    probs: Matrix,
+    /// Gradient carrier flowing backward through the trunk.
+    grad: Matrix,
+    /// Per-layer backward output buffer, swapped with `grad`.
+    grad_in: Matrix,
+    /// Gradient each head injects into its trunk level.
+    head_grads: Vec<Matrix>,
+    /// Parameter-gradient buffers shared by every layer's update.
+    layer: GradScratch,
 }
 
 impl EarlyExitMlp {
@@ -119,6 +156,7 @@ impl EarlyExitMlp {
             trunk,
             heads,
             config,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -230,6 +268,10 @@ impl EarlyExitMlp {
     /// One SGD step on a mini-batch with deep supervision: the loss is the
     /// exit-weighted sum of per-exit cross-entropies. Returns the mean
     /// (weighted) loss, for monitoring.
+    ///
+    /// All intermediate buffers live in the network's [`TrainScratch`]
+    /// and are reused across calls, so steady-state retraining performs
+    /// zero heap allocations once the buffers have warmed up.
     pub fn train_batch(&mut self, batch: &TrainBatch) -> f64 {
         assert_eq!(batch.inputs.rows(), batch.labels.len());
         if batch.labels.is_empty() {
@@ -237,50 +279,73 @@ impl EarlyExitMlp {
         }
         let update = self.config.update_rule();
         let n_exits = self.num_exits();
+        let scratch = &mut self.scratch;
+        scratch.activations.resize_with(n_exits, Matrix::default);
+        scratch.trunk_pre.resize_with(n_exits, Matrix::default);
+        scratch.head_grads.resize_with(n_exits, Matrix::default);
 
-        // Forward through the trunk, caching.
-        let mut activations: Vec<Matrix> = Vec::with_capacity(n_exits);
-        let mut trunk_caches: Vec<DenseCache> = Vec::with_capacity(n_exits);
-        let mut x = batch.inputs.clone();
-        for layer in &self.trunk {
-            let (out, cache) = layer.forward(&x);
-            trunk_caches.push(cache);
-            activations.push(out.clone());
-            x = out;
+        // Forward through the trunk, keeping each layer's input
+        // (previous activation) and pre-activation for the backward
+        // pass.
+        for e in 0..n_exits {
+            let (earlier, rest) = scratch.activations.split_at_mut(e);
+            let input = if e == 0 {
+                &batch.inputs
+            } else {
+                &earlier[e - 1]
+            };
+            self.trunk[e].forward_into(input, &mut scratch.trunk_pre[e], &mut rest[0]);
         }
 
         // Per-exit head forward + softmax-CE gradient, updating heads and
         // collecting the gradient each head injects into its trunk level.
-        let mut head_grads: Vec<Matrix> = Vec::with_capacity(n_exits);
         let mut total_loss = 0.0f64;
-        for (e, activation) in activations.iter().enumerate().take(n_exits) {
+        for e in 0..n_exits {
             let w = self.config.exit_weights[e];
-            let (logits, cache) = self.heads[e].forward(activation);
-            let probs = logits.softmax_rows();
+            self.heads[e].infer_into(&scratch.activations[e], &mut scratch.probs);
+            scratch.probs.softmax_rows_inplace();
             // Loss and gradient: dL/dlogits = (p − onehot) · w.
-            let mut grad = probs.clone();
+            scratch.grad.copy_from(&scratch.probs);
             for (r, &label) in batch.labels.iter().enumerate() {
-                let p = probs.get(r, label).max(1e-12);
+                let p = scratch.probs.get(r, label).max(1e-12);
                 total_loss += -(p as f64).ln() * w as f64;
-                grad.set(r, label, grad.get(r, label) - 1.0);
+                scratch.grad.set(r, label, scratch.grad.get(r, label) - 1.0);
             }
-            grad.scale(w);
-            head_grads.push(self.heads[e].backward_with(&cache, grad, update));
+            scratch.grad.scale(w);
+            // Heads have no ReLU, so the pre-activation argument is
+            // never read; pass the probs buffer to satisfy the shape.
+            self.heads[e].backward_scratch(
+                &scratch.activations[e],
+                &scratch.probs,
+                &mut scratch.grad,
+                update,
+                &mut scratch.head_grads[e],
+                &mut scratch.layer,
+            );
         }
 
         // Backward through the trunk, adding each head's contribution at
         // its level.
-        let mut grad = head_grads.pop().expect("at least one exit");
+        std::mem::swap(&mut scratch.grad, &mut scratch.head_grads[n_exits - 1]);
         for e in (0..n_exits).rev() {
-            let grad_in = self.trunk[e].backward_with(&trunk_caches[e], grad, update);
-            grad = grad_in;
+            let input = if e == 0 {
+                &batch.inputs
+            } else {
+                &scratch.activations[e - 1]
+            };
+            self.trunk[e].backward_scratch(
+                input,
+                &scratch.trunk_pre[e],
+                &mut scratch.grad,
+                update,
+                &mut scratch.grad_in,
+                &mut scratch.layer,
+            );
+            std::mem::swap(&mut scratch.grad, &mut scratch.grad_in);
             if e > 0 {
-                let head_grad = head_grads.pop().expect("one grad per earlier exit");
                 // `grad` currently targets activation e-1; add the exit
                 // gradient injected there.
-                let mut combined = grad;
-                combined.axpy(1.0, &head_grad);
-                grad = combined;
+                scratch.grad.axpy(1.0, &scratch.head_grads[e - 1]);
             }
         }
         total_loss / batch.labels.len() as f64

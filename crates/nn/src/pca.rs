@@ -154,8 +154,8 @@ mod tests {
             let means = m.col_means();
             let mut acc = 0.0;
             for r in 0..n {
-                for c in 0..2 {
-                    let d = m.get(r, c) - means[c];
+                for (c, &mean) in means.iter().enumerate().take(2) {
+                    let d = m.get(r, c) - mean;
                     acc += d * d;
                 }
             }

@@ -384,7 +384,7 @@ mod tests {
         ) {
             prop_assert!((3..17).contains(&x));
             prop_assert!((-5..5).contains(&y));
-            prop_assert!(f >= 0.25 && f < 0.75, "f out of range: {f}");
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {f}");
         }
 
         /// Vec + tuple + bool strategies compose.

@@ -1,0 +1,114 @@
+//! Golden determinism tests for the hot-path optimization work.
+//!
+//! The optimized engine (blocked GEMM kernels, scheduler decision
+//! cache, zero-alloc session loop) must be *behavior-preserving*: for a
+//! fixed seed it has to reproduce the seed engine's `RunMetrics` bit
+//! for bit. The constants below were captured from the pre-optimization
+//! engine (`adainf-sim --apps 3 --duration 60 --json`) at three seeds
+//! per method; floats are the shortest round-trip renderings, so the
+//! literals parse back to the exact bits the seed engine produced.
+
+use adainf::core::AdaInfConfig;
+use adainf::harness::sim::{run, Method, RunConfig};
+use adainf::simcore::SimDuration;
+
+fn config(method: Method, seed: u64) -> RunConfig {
+    RunConfig {
+        method,
+        seed,
+        num_apps: 3,
+        duration: SimDuration::from_secs(60),
+        ..RunConfig::default()
+    }
+}
+
+/// `(seed, total_requests, mean_accuracy, mean_finish_rate)`.
+type Golden = (u64, u64, f64, f64);
+
+fn assert_golden(method: impl Fn() -> Method, golden: &[Golden]) {
+    for &(seed, requests, accuracy, finish) in golden {
+        let metrics = run(config(method(), seed));
+        let summary = metrics.summary();
+        assert_eq!(
+            metrics.total_requests, requests,
+            "{} seed {seed}: total_requests",
+            summary.name
+        );
+        assert_eq!(
+            summary.mean_accuracy.to_bits(),
+            accuracy.to_bits(),
+            "{} seed {seed}: mean_accuracy {} != golden {accuracy}",
+            summary.name,
+            summary.mean_accuracy
+        );
+        assert_eq!(
+            summary.mean_finish_rate.to_bits(),
+            finish.to_bits(),
+            "{} seed {seed}: mean_finish_rate {} != golden {finish}",
+            summary.name,
+            summary.mean_finish_rate
+        );
+    }
+}
+
+#[test]
+fn adainf_reproduces_seed_engine() {
+    assert_golden(
+        || Method::AdaInf(AdaInfConfig::default()),
+        &[
+            (11, 1725130, 0.9033870800251864, 0.9994962365591399),
+            (23, 1518908, 0.9096759030301156, 0.9999219775153383),
+            (47, 1392262, 0.9099883764990834, 0.9994159161340305),
+        ],
+    );
+}
+
+#[test]
+fn ekya_reproduces_seed_engine() {
+    assert_golden(
+        || Method::Ekya,
+        &[
+            (11, 1725130, 0.9137245757227437, 0.8141827074093204),
+            (23, 1518908, 0.9202528808347674, 0.9525421569285103),
+            (47, 1392262, 0.9285268695040899, 0.9311903241349095),
+        ],
+    );
+}
+
+#[test]
+fn scrooge_reproduces_seed_engine() {
+    assert_golden(
+        || Method::Scrooge,
+        &[
+            (11, 1725130, 0.9114882759566701, 1.0),
+            (23, 1518908, 0.9197024878322877, 1.0),
+            (47, 1392262, 0.9278595052706929, 1.0),
+        ],
+    );
+}
+
+/// The decision cache must be invisible in the results: cache on vs off
+/// yields identical metrics (only the hit counters may differ).
+#[test]
+fn decision_cache_does_not_change_decisions() {
+    for seed in [11, 23, 47] {
+        let cached = run(config(Method::AdaInf(AdaInfConfig::default()), seed));
+        let uncached = run(config(
+            Method::AdaInf(AdaInfConfig {
+                decision_cache: false,
+                ..AdaInfConfig::default()
+            }),
+            seed,
+        ));
+        assert!(cached.cache_hits > 0, "seed {seed}: cache never hit");
+        assert_eq!(uncached.cache_hits, 0, "seed {seed}: cache ran while off");
+        assert_eq!(cached.total_requests, uncached.total_requests);
+        let (c, u) = (cached.summary(), uncached.summary());
+        assert_eq!(c.mean_accuracy.to_bits(), u.mean_accuracy.to_bits());
+        assert_eq!(c.mean_finish_rate.to_bits(), u.mean_finish_rate.to_bits());
+        assert_eq!(
+            c.mean_inference_latency_ms.to_bits(),
+            u.mean_inference_latency_ms.to_bits()
+        );
+    }
+}

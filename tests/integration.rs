@@ -214,7 +214,7 @@ fn extension_features_run_end_to_end() {
     });
     let hetero = run(RunConfig {
         duration: SimDuration::from_secs(150),
-        device_factors: vec![1.0, 1.0, 0.5, 0.5, 0.5, 0.5],
+        device_factors: vec![1.0, 1.0, 0.5, 0.5, 0.5, 0.5].into(),
         ..small(Method::AdaInf(AdaInfConfig::default()))
     });
     for m in [&cpu, &joint, &hetero] {
