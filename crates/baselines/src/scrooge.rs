@@ -23,7 +23,7 @@ use adainf_gpusim::{EvictionPolicyKind, ExecMode, GpuSpec};
 use adainf_simcore::time::SESSION;
 use adainf_simcore::{SimDuration, SimTime};
 use std::sync::Arc;
-use std::time::Instant;
+use adainf_simcore::walltime::WallTimer;
 
 /// Bytes shipped per retraining sample (a video frame plus metadata) —
 /// calibrated so the default 8-application deployment transfers ≈ 85.7 GB
@@ -82,6 +82,7 @@ impl ScroogeScheduler {
                 best = Some((g, b));
             }
         }
+        // simlint: allow(no-unwrap-in-lib) — BATCH_CANDIDATES is a non-empty const, so the loop always sets `best`
         best.expect("candidates non-empty")
     }
 }
@@ -101,7 +102,7 @@ impl Scheduler for ScroogeScheduler {
         _server: &GpuSpec,
         now: SimTime,
     ) -> PeriodPlan {
-        let wall = Instant::now();
+        let wall = WallTimer::start();
         // Ship every pool to the cloud; updated models come back after
         // upload + cloud training + download.
         let mut bytes_up = 0u64;
@@ -134,7 +135,7 @@ impl Scheduler for ScroogeScheduler {
         PeriodPlan {
             apps: vec![AppPeriodPlan::default(); apps.len()],
             bulk,
-            overhead: SimDuration::from_millis_f64(wall.elapsed().as_secs_f64() * 1e3),
+            overhead: SimDuration::from_millis_f64(wall.elapsed_ms()),
             edge_cloud_bytes: total_bytes,
         }
     }

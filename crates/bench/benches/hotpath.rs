@@ -9,6 +9,8 @@
 //!   simulation through the public `run` entry point, so a regression
 //!   anywhere in the stack shows up even if every micro-bench holds.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

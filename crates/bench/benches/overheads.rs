@@ -13,6 +13,8 @@
 //!   manager under thrash.
 //! * `nn/*` — the mini-NN substrate (forward, SGD step, PCA fit).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -84,8 +86,10 @@ fn bench_nn(c: &mut Criterion) {
         inputs: inputs.clone(),
         labels,
     };
+    // Full structure: `small` has two exits, so the last valid index is 1.
+    let full_exit = net.num_exits() - 1;
     c.bench_function("nn/forward_batch32", |b| {
-        b.iter(|| black_box(net.predict(black_box(&inputs), 2)))
+        b.iter(|| black_box(net.predict(black_box(&inputs), full_exit)))
     });
     c.bench_function("nn/sgd_step_batch32", |b| {
         b.iter(|| black_box(net.train_batch(black_box(&batch))))

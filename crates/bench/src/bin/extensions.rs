@@ -6,6 +6,9 @@
 //! * One-shot joint batch/space decision (`joint_batch_space`).
 //! * A heterogeneous GPU fleet (4 reference GPUs vs 2 fast + 4 half-speed
 //!   at the same total capacity).
+
+#![forbid(unsafe_code)]
+
 use adainf_core::AdaInfConfig;
 use adainf_harness::experiments::Scale;
 use adainf_harness::report::{pct, table};

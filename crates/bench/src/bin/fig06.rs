@@ -1,4 +1,7 @@
 //! Regenerates fig06 of the paper. `--fast` / `--full` adjust the horizon.
+
+#![forbid(unsafe_code)]
+
 fn main() {
     adainf_bench::main_for("fig06", adainf_bench::experiments::fig06);
 }

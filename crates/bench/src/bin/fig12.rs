@@ -1,4 +1,7 @@
 //! Regenerates Figs 12a/12b (content reuse-time CDFs).
+
+#![forbid(unsafe_code)]
+
 fn main() {
     adainf_bench::main_for("fig12", adainf_bench::experiments::fig12_13);
 }

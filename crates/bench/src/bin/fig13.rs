@@ -1,4 +1,7 @@
 //! Regenerates Fig 13 (parameter reuse across jobs; shares the Fig 12 run).
+
+#![forbid(unsafe_code)]
+
 fn main() {
     adainf_bench::main_for("fig13", adainf_bench::experiments::fig12_13);
 }

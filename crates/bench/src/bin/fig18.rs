@@ -1,5 +1,8 @@
 //! Regenerates Fig 18 (accuracy comparison: default, #apps, #GPUs).
 //! Prints Fig 19's finish-rate columns too (the runs are shared).
+
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = adainf_bench::experiments::Scale::from_args(&args);

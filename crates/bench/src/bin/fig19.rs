@@ -1,4 +1,7 @@
 //! Regenerates Fig 19 (finish-rate comparison; shares the Fig 18 runs).
+
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = adainf_bench::experiments::Scale::from_args(&args);

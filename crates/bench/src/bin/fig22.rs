@@ -1,4 +1,7 @@
 //! Regenerates fig22 of the paper. `--fast` / `--full` adjust the horizon.
+
+#![forbid(unsafe_code)]
+
 fn main() {
     adainf_bench::main_for("fig22", adainf_bench::experiments::fig22);
 }

@@ -1,4 +1,7 @@
 //! Regenerates fig24 of the paper. `--fast` / `--full` adjust the horizon.
+
+#![forbid(unsafe_code)]
+
 fn main() {
     adainf_bench::main_for("fig24", adainf_bench::experiments::fig24);
 }

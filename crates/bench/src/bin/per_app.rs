@@ -3,6 +3,9 @@
 //! application under each method. Shows *which* applications each
 //! scheduler sacrifices — e.g. Ekya's even shares starving the heavy
 //! social-media DAG while light apps cruise.
+
+#![forbid(unsafe_code)]
+
 use adainf_core::AdaInfConfig;
 use adainf_harness::experiments::Scale;
 use adainf_harness::parallel::run_many;

@@ -1,5 +1,8 @@
 //! Regenerates every table and figure in sequence (use `--fast` for a
 //! quick pass; `--full` for the paper's 1000 s horizon).
+
+#![forbid(unsafe_code)]
+
 use adainf_bench::experiments as ex;
 
 /// A named figure regenerator.

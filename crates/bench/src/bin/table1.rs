@@ -4,6 +4,9 @@
 //! criterion decision-latency bench (`decision_bench`) so the "session
 //! scheduling" column reports the measured cost of one `on_session`
 //! call rather than the in-run mean.
+
+#![forbid(unsafe_code)]
+
 use adainf_bench::{decision_bench, experiments};
 
 fn main() {

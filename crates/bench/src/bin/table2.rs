@@ -1,4 +1,7 @@
 //! Regenerates table2 of the paper. `--fast` / `--full` adjust the horizon.
+
+#![forbid(unsafe_code)]
+
 fn main() {
     adainf_bench::main_for("table2", adainf_bench::experiments::table2);
 }

@@ -11,6 +11,9 @@
 //! decision-cache hit rate) so every PR's perf delta is visible. The
 //! simulated results are unaffected by the timing — runs are
 //! deterministic functions of their configs.
+
+#![forbid(unsafe_code)]
+
 use adainf_core::AdaInfConfig;
 use adainf_harness::experiments::Scale;
 use adainf_harness::json;

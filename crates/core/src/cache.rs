@@ -19,7 +19,7 @@
 //! (and thus on every drift-impact change).
 
 use crate::timealloc::TimePlan;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Key for the gpu-fraction-dependent caches: `(app, requests,
 /// gpu.to_bits())`. Keying on the exact bits (not a quantisation) is what
@@ -31,16 +31,16 @@ type FracKey = (usize, u32, u64);
 pub struct DecisionCache {
     /// `(app, requests)` → SLO-demand fraction (§3.3.1 inversion).
     /// Valid for the scheduler's lifetime.
-    demand: HashMap<(usize, u32), f64>,
+    demand: BTreeMap<(usize, u32), f64>,
     /// `(app, requests)` → joint `(fraction, batch)` choice (§6).
     /// Valid for the scheduler's lifetime.
-    joint: HashMap<(usize, u32), (f64, u32)>,
+    joint: BTreeMap<(usize, u32), (f64, u32)>,
     /// `(app, requests, gpu)` → re-adjusted request batch (§3.3.1 step 2).
     /// Valid for the scheduler's lifetime (costs are spec-fixed).
-    batch_at: HashMap<FracKey, u32>,
+    batch_at: BTreeMap<FracKey, u32>,
     /// `(app, requests, gpu)` → pool-independent §3.3.2 time plan.
     /// Cleared every period.
-    plan: HashMap<FracKey, TimePlan>,
+    plan: BTreeMap<FracKey, TimePlan>,
     /// Lookups answered from a table.
     pub hits: u64,
     /// Lookups that ran the underlying search.
@@ -65,11 +65,11 @@ impl DecisionCache {
     /// Memoised SLO-demand fraction for `(app, requests)`.
     pub fn demand(&mut self, app: usize, requests: u32, compute: impl FnOnce() -> f64) -> f64 {
         match self.demand.entry((app, requests)) {
-            std::collections::hash_map::Entry::Occupied(e) => {
+            std::collections::btree_map::Entry::Occupied(e) => {
                 self.hits += 1;
                 *e.get()
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 self.misses += 1;
                 *e.insert(compute())
             }
@@ -84,14 +84,31 @@ impl DecisionCache {
         compute: impl FnOnce() -> (f64, u32),
     ) -> (f64, u32) {
         match self.joint.entry((app, requests)) {
-            std::collections::hash_map::Entry::Occupied(e) => {
+            std::collections::btree_map::Entry::Occupied(e) => {
                 self.hits += 1;
                 *e.get()
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 self.misses += 1;
                 *e.insert(compute())
             }
+        }
+    }
+
+    /// `strict-invariants` check on a float cache key: the key must be a
+    /// finite fraction whose bit pattern round-trips, or "same key" and
+    /// "same decision inputs" stop being the same thing.
+    fn check_key(gpu: f64) {
+        if cfg!(feature = "strict-invariants") {
+            assert!(
+                gpu.is_finite(),
+                "strict-invariants: non-finite gpu fraction {gpu} used as a cache key"
+            );
+            assert_eq!(
+                f64::from_bits(gpu.to_bits()).to_bits(),
+                gpu.to_bits(),
+                "strict-invariants: cache key does not round-trip through to_bits"
+            );
         }
     }
 
@@ -103,12 +120,13 @@ impl DecisionCache {
         gpu: f64,
         compute: impl FnOnce() -> u32,
     ) -> u32 {
+        Self::check_key(gpu);
         match self.batch_at.entry((app, requests, gpu.to_bits())) {
-            std::collections::hash_map::Entry::Occupied(e) => {
+            std::collections::btree_map::Entry::Occupied(e) => {
                 self.hits += 1;
                 *e.get()
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 self.misses += 1;
                 *e.insert(compute())
             }
@@ -125,12 +143,13 @@ impl DecisionCache {
         gpu: f64,
         compute: impl FnOnce() -> TimePlan,
     ) -> &TimePlan {
+        Self::check_key(gpu);
         match self.plan.entry((app, requests, gpu.to_bits())) {
-            std::collections::hash_map::Entry::Occupied(e) => {
+            std::collections::btree_map::Entry::Occupied(e) => {
                 self.hits += 1;
                 e.into_mut()
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 self.misses += 1;
                 e.insert(compute())
             }
@@ -189,6 +208,14 @@ mod tests {
             0.3
         });
         assert!(!demand_recomputed, "demand tables are spec-lifetime");
+    }
+
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "non-finite gpu fraction")]
+    fn strict_rejects_nan_keys() {
+        let mut cache = DecisionCache::default();
+        cache.batch_at(0, 16, f64::NAN, || 8);
     }
 
     #[test]

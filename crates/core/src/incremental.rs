@@ -8,7 +8,7 @@
 //! gives operators a live view of where each model stands.
 
 use adainf_simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Progress of one model's retraining within the current period.
 #[derive(Clone, Copy, Debug, Default)]
@@ -44,7 +44,7 @@ impl NodeProgress {
 /// Per-(app, node) progress tracking across periods.
 #[derive(Clone, Debug, Default)]
 pub struct RetrainProgress {
-    current: HashMap<(usize, usize), NodeProgress>,
+    current: BTreeMap<(usize, usize), NodeProgress>,
     /// Completed periods' summaries, in order.
     history: Vec<Vec<((usize, usize), NodeProgress)>>,
 }
@@ -59,8 +59,8 @@ impl RetrainProgress {
     /// set re-registered with its pool sizes.
     pub fn start_period(&mut self, pools: impl IntoIterator<Item = ((usize, usize), u32)>) {
         if !self.current.is_empty() {
-            let mut snapshot: Vec<_> = self.current.drain().collect();
-            snapshot.sort_by_key(|(k, _)| *k);
+            // BTreeMap iterates in key order, so the snapshot is sorted.
+            let snapshot: Vec<_> = std::mem::take(&mut self.current).into_iter().collect();
             self.history.push(snapshot);
         }
         for (key, pool_total) in pools {

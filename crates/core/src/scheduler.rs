@@ -23,9 +23,9 @@ use crate::space::{
 };
 use crate::timealloc::{allocate_time, clamp_slices, plan_time, select_structures, strategies};
 use adainf_apps::{AppRuntime, AppSpec};
+use adainf_simcore::walltime::WallTimer;
 use adainf_simcore::{Prng, SimDuration, SimTime};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Per-application scheduling state snapshotted at the period boundary.
 #[derive(Clone, Debug, Default)]
@@ -164,7 +164,7 @@ impl Scheduler for AdaInfScheduler {
         _server: &adainf_gpusim::GpuSpec,
         _now: SimTime,
     ) -> PeriodPlan {
-        let wall = Instant::now();
+        let wall = WallTimer::start();
         self.last_reports.clear();
 
         for (a, rt) in apps.iter_mut().enumerate() {
@@ -225,13 +225,13 @@ impl Scheduler for AdaInfScheduler {
                 })
                 .collect(),
             bulk: Vec::new(),
-            overhead: SimDuration::from_millis_f64(wall.elapsed().as_secs_f64() * 1e3),
+            overhead: SimDuration::from_millis_f64(wall.elapsed_ms()),
             edge_cloud_bytes: 0,
         }
     }
 
     fn on_session(&mut self, ctx: &SessionCtx<'_>) -> Vec<JobPlan> {
-        let wall = Instant::now();
+        let wall = WallTimer::start();
         let demands: Vec<JobDemand> = ctx
             .predicted
             .iter()
@@ -401,7 +401,7 @@ impl Scheduler for AdaInfScheduler {
             });
         }
 
-        self.sched_wall_ns += wall.elapsed().as_nanos();
+        self.sched_wall_ns += wall.elapsed_nanos();
         self.sched_calls += 1;
         plans
     }

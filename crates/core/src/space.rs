@@ -66,8 +66,8 @@ pub fn joint_choice(job: &JobDemand, profiler: &Profiler) -> (f64, u32) {
                 .max(1e-3);
             (g, b)
         })
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"))
-        .expect("candidates non-empty")
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions")) // simlint: allow(no-unwrap-in-lib) — fractions are clamped to [1e-3, ..], never NaN
+        .expect("candidates non-empty") // simlint: allow(no-unwrap-in-lib) — BATCH_CANDIDATES is a non-empty const
 }
 
 /// Divides `total_gpus` among the session's jobs.

@@ -15,6 +15,8 @@
 //! optional positional substring filter. Everything else cargo passes
 //! (`--bench`, etc.) is ignored.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

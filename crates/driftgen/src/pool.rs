@@ -95,7 +95,7 @@ impl RetrainPool {
             assert!(i < self.samples.len() && !seen[i], "not a permutation");
             seen[i] = true;
         }
-        let consumed: std::collections::HashSet<usize> =
+        let consumed: std::collections::BTreeSet<usize> =
             self.order[..self.cursor].iter().copied().collect();
         let mut new_order: Vec<usize> = self.order[..self.cursor].to_vec();
         new_order.extend(priority.iter().copied().filter(|i| !consumed.contains(i)));

@@ -235,6 +235,7 @@ impl TaskStream {
             let class = self
                 .rng
                 .weighted_index(&self.priors)
+                // simlint: allow(no-unwrap-in-lib) — priors come from a simplex draw, all strictly positive
                 .expect("priors are positive");
             let mean_row = self.means.row(class).to_vec();
             for &m in mean_row.iter().take(dim) {

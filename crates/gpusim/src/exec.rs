@@ -242,12 +242,15 @@ pub fn run_concurrent(
     // when its last task completes ("evict all intermediate outputs of
     // the job but retain the updated parameters", §3.4.1 — part of the
     // layer-grouped/maximise-usage strategy).
-    let mut outstanding: std::collections::HashMap<(u32, u64), usize> =
-        std::collections::HashMap::new();
+    let mut outstanding: std::collections::BTreeMap<(u32, u64), usize> =
+        std::collections::BTreeMap::new();
     for t in tasks {
         *outstanding.entry((t.app, t.job)).or_insert(0) += 1;
     }
 
+    // Earliest-local-clock dispatch emits steps in nondecreasing time
+    // order; `strict-invariants` checks that as it goes.
+    let mut last_dispatch = SimTime::ZERO;
     loop {
         // Pick the unfinished task with the earliest local clock.
         let next = live
@@ -261,6 +264,13 @@ pub fn run_concurrent(
         let ctx = task.context();
         let step = live[idx].steps[live[idx].cursor];
         let now = live[idx].clock;
+        if cfg!(feature = "strict-invariants") {
+            assert!(
+                now >= last_dispatch,
+                "strict-invariants: dispatch clock went backwards ({now:?} < {last_dispatch:?})"
+            );
+        }
+        last_dispatch = now;
         let mut comm = SimDuration::ZERO;
 
         let layer = &task.layers[step.layer as usize];
@@ -328,6 +338,7 @@ pub fn run_concurrent(
         if l.cursor == l.steps.len() {
             let slot = outstanding
                 .get_mut(&(task.app, task.job))
+                // simlint: allow(no-unwrap-in-lib) — every task was counted into `outstanding` above
                 .expect("task was registered");
             *slot -= 1;
             if *slot == 0 && mode == ExecMode::LayerGrouped {

@@ -261,6 +261,7 @@ impl LatencyModel {
             .iter()
             .map(|&b| (b, self.worst_case(structure, n, b, frac)))
             .min_by_key(|(_, wc)| wc.as_micros())
+            // simlint: allow(no-unwrap-in-lib) — BATCH_CANDIDATES is a non-empty const
             .expect("candidates are non-empty")
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::content::{ContentKey, ContentType, ReuseCategory, TaskContext};
 use adainf_simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where a non-resident content currently lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -155,17 +155,17 @@ pub struct MemoryStats {
 #[derive(Clone, Debug)]
 pub struct GpuMemory {
     config: MemoryConfig,
-    resident: HashMap<ContentKey, Resident>,
+    resident: BTreeMap<ContentKey, Resident>,
     used: u64,
     /// Non-resident contents we know about, and where they live.
-    spilled: HashMap<ContentKey, CpuLocation>,
+    spilled: BTreeMap<ContentKey, CpuLocation>,
     pin_used: u64,
     stats: MemoryStats,
     reuse_events: Vec<ReuseEvent>,
     /// Last access of every known content regardless of residency —
     /// reuse intervals (Figs 12–13) span evictions: a parameter evicted
     /// between jobs is still *reused* by the next job.
-    last_touch: HashMap<ContentKey, (SimTime, TaskContext, u64, u32)>,
+    last_touch: BTreeMap<ContentKey, (SimTime, TaskContext, u64, u32)>,
     /// Shared PCIe bus, used when `bus_contention` is enabled.
     bus: crate::transfer::TransferBus,
 }
@@ -187,13 +187,13 @@ impl GpuMemory {
         let bus = crate::transfer::TransferBus::new(config.pageable_bandwidth);
         GpuMemory {
             config,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             used: 0,
-            spilled: HashMap::new(),
+            spilled: BTreeMap::new(),
             pin_used: 0,
             stats: MemoryStats::default(),
             reuse_events: Vec::new(),
-            last_touch: HashMap::new(),
+            last_touch: BTreeMap::new(),
             bus,
         }
     }
@@ -274,6 +274,7 @@ impl GpuMemory {
             EvictionPolicyKind::Priority => {
                 victims.sort_by(|a, b| {
                     b.2.partial_cmp(&a.2)
+                        // simlint: allow(no-unwrap-in-lib) — victim scores are reuse distances: finite or +inf, never NaN
                         .expect("scores are finite or +inf")
                         .then(a.3.cmp(&b.3))
                         .then(a.0.cmp(&b.0))
@@ -286,6 +287,13 @@ impl GpuMemory {
                 break;
             }
             self.resident.remove(&key);
+            if cfg!(feature = "strict-invariants") {
+                assert!(
+                    self.used >= bytes,
+                    "strict-invariants: evicting {bytes} B with only {} B accounted resident",
+                    self.used
+                );
+            }
             self.used -= bytes;
             to_free = to_free.saturating_sub(bytes);
             if dead {
@@ -345,6 +353,15 @@ impl GpuMemory {
         intent: AccessIntent,
         now: SimTime,
     ) -> SimDuration {
+        if cfg!(feature = "strict-invariants") {
+            if let Some(&(at, ..)) = self.last_touch.get(&key) {
+                assert!(
+                    now >= at,
+                    "strict-invariants: content {key:?} accessed at {now:?}, \
+                     before its last touch at {at:?} — simulated time went backwards"
+                );
+            }
+        }
         // Reuse instrumentation spans evictions: any re-access of a
         // previously touched content is a reuse, resident or not.
         if self.config.record_reuse {
@@ -375,6 +392,13 @@ impl GpuMemory {
         let fetch_location = self.spilled.remove(&key);
         if let Some(loc) = fetch_location {
             if loc == CpuLocation::Pinned {
+                if cfg!(feature = "strict-invariants") {
+                    assert!(
+                        self.pin_used >= bytes,
+                        "strict-invariants: releasing {bytes} B of PIN with only {} B reserved",
+                        self.pin_used
+                    );
+                }
                 self.pin_used = self.pin_used.saturating_sub(bytes);
             }
             if intent == AccessIntent::Fetch {
@@ -436,6 +460,9 @@ impl GpuMemory {
         for key in keys {
             if eager {
                 if let Some(e) = self.resident.remove(&key) {
+                    if cfg!(feature = "strict-invariants") {
+                        assert!(self.used >= e.bytes, "strict-invariants: resident accounting underflow");
+                    }
                     self.used -= e.bytes;
                     self.stats.drops += 1;
                 }
@@ -473,6 +500,9 @@ impl GpuMemory {
         for key in keys {
             if eager {
                 if let Some(e) = self.resident.remove(&key) {
+                    if cfg!(feature = "strict-invariants") {
+                        assert!(self.used >= e.bytes, "strict-invariants: resident accounting underflow");
+                    }
                     self.used -= e.bytes;
                     self.stats.drops += 1;
                 }
@@ -560,6 +590,16 @@ mod tests {
             record_reuse: true,
             ..MemoryConfig::default()
         }
+    }
+
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "simulated time went backwards")]
+    fn strict_catches_backwards_access() {
+        let mut mem = GpuMemory::new(small_config(EvictionPolicyKind::Lru));
+        let key = ContentKey::param(0, 0, 0);
+        mem.access(key, 100, TaskContext::Inference, 1, 0, 400.0, AccessIntent::Fetch, t(10));
+        mem.access(key, 100, TaskContext::Inference, 1, 0, 400.0, AccessIntent::Fetch, t(5));
     }
 
     fn t(us: u64) -> SimTime {

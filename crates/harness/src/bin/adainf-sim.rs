@@ -8,6 +8,8 @@
 //!
 //! Prints the run summary (or, with `--json`, the full metric export).
 
+#![forbid(unsafe_code)]
+
 use adainf_core::AdaInfConfig;
 use adainf_harness::sim::{run, Method, RunConfig};
 use adainf_simcore::SimDuration;

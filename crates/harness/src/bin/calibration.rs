@@ -11,6 +11,8 @@
 //! cargo run --release -p adainf-harness --bin calibration
 //! ```
 
+#![forbid(unsafe_code)]
+
 use adainf_apps::{catalog, AppRuntime};
 use adainf_core::drift_detect::detect_drift;
 use adainf_core::AdaInfConfig;

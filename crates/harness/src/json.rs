@@ -2,7 +2,7 @@
 //! dependency (the build environment has no registry access).
 //!
 //! Values are rendered bottom-up as `String`s: leaves via [`string`],
-//! [`num`] and friends, composites via [`array`] and [`object`].
+//! [`num`] and friends, composites via [`array()`] and [`object()`].
 //! Objects pretty-print with two-space indentation; nested values are
 //! re-indented, so arbitrarily deep structures stay readable.
 

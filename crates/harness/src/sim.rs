@@ -36,7 +36,7 @@ use adainf_simcore::{Prng, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use std::time::Instant;
+use adainf_simcore::walltime::WallTimer;
 
 /// Which scheduling method a run uses.
 #[derive(Clone, Debug)]
@@ -470,11 +470,11 @@ impl Simulation {
             avg_job_time: self.avg_job_time,
             pool_remaining: &scratch.pool_remaining,
         };
-        let wall = Instant::now();
+        let wall = WallTimer::start();
         let plans = self.scheduler.on_session(&ctx);
         self.metrics
             .sched_overhead
-            .add(wall.elapsed().as_secs_f64() * 1e3);
+            .add(wall.elapsed_ms());
         self.metrics.diag_free.add(free);
 
         scratch.served.clear();

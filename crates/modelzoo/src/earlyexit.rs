@@ -10,7 +10,7 @@
 use crate::profile::ModelProfile;
 
 /// The structure choice for a single model: run layers `0..=cut`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StructureChoice {
     /// Inclusive cut layer; `profile.full_cut()` means the full structure.
     pub cut: usize,
@@ -18,7 +18,7 @@ pub struct StructureChoice {
 
 /// One early-exit structure of a whole application: a cut per model, in
 /// the application's model (node) order.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AppStructure {
     /// Per-model cuts.
     pub cuts: Vec<usize>,
@@ -85,7 +85,7 @@ mod tests {
         let expect: usize = profiles.iter().map(|p| p.exit_points().len()).product();
         assert_eq!(structures.len(), expect);
         // All distinct.
-        let set: std::collections::HashSet<_> = structures.iter().cloned().collect();
+        let set: std::collections::BTreeSet<_> = structures.iter().cloned().collect();
         assert_eq!(set.len(), structures.len());
         // The full structure is among them.
         assert!(structures.contains(&AppStructure::full(&profiles)));

@@ -238,15 +238,14 @@ impl Dense {
             }
             Update::Adam { lr, beta1, beta2, eps } => {
                 self.steps += 1;
-                if self.adam_v_w.is_none() {
-                    self.adam_v_w =
-                        Some(Matrix::zeros(self.weights.rows(), self.weights.cols()));
+                if self.adam_v_b.len() != self.bias.len() {
                     self.adam_v_b = vec![0.0; self.bias.len()];
                 }
                 let t = self.steps as f32;
                 let c1 = 1.0 - beta1.powf(t);
                 let c2 = 1.0 - beta2.powf(t);
-                let v_w = self.adam_v_w.as_mut().expect("allocated above");
+                let (rows, cols) = (self.weights.rows(), self.weights.cols());
+                let v_w = self.adam_v_w.get_or_insert_with(|| Matrix::zeros(rows, cols));
                 for ((w, m), (v, g)) in self
                     .weights
                     .data_mut()

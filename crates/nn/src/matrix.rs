@@ -429,6 +429,7 @@ impl Matrix {
                 let row = self.row(r);
                 row.iter()
                     .enumerate()
+                    // simlint: allow(no-unwrap-in-lib) — logits come out of finite-weight GEMMs; NaN means a training bug worth a loud stop
                     .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
                     .map(|(i, _)| i)
                     .unwrap_or(0)

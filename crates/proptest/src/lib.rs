@@ -8,6 +8,8 @@
 //! reproduce exactly across runs. Shrinking is intentionally absent —
 //! a failing case panics with the rendered assertion message instead.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     use crate::test_runner::StubRng;
 

@@ -152,7 +152,7 @@ impl<E> Engine<E> {
                     break;
                 }
             }
-            let (at, event) = self.queue.pop().expect("peeked event vanished");
+            let Some((at, event)) = self.queue.pop() else { break };
             processed += 1;
             if !handler(at, event, &mut self.queue) {
                 break;

@@ -17,6 +17,8 @@
 //! * [`stats`] / [`series`] — online statistics, histograms, empirical CDFs
 //!   and windowed time series used by the metric pipeline (finish rate per
 //!   1 s window, accuracy per 50 s period, GPU utilization per second).
+//! * [`walltime`] — the single sanctioned host-clock boundary, used only
+//!   for reporting scheduler overhead metrics (never simulated time).
 //!
 //! Nothing in this crate knows about GPUs, DNNs or schedulers.
 
@@ -28,6 +30,7 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod walltime;
 
 pub use event::{Engine, EventQueue};
 pub use rng::Prng;

@@ -206,6 +206,7 @@ impl Cdf {
     fn ensure_sorted(&mut self) {
         if !self.sorted {
             self.samples
+                // simlint: allow(no-unwrap-in-lib) — callers record finite metric samples; NaN here means a corrupted metric pipeline
                 .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in CDF"));
             self.sorted = true;
         }

@@ -1,0 +1,202 @@
+//! `simlint.toml` parsing.
+//!
+//! The allowlist format is a deliberately tiny TOML subset (this crate
+//! is std-only, so no toml dependency): one `[allow]` table whose keys
+//! are rule ids and whose values are arrays of workspace-relative path
+//! prefixes. A prefix ending in `/` allowlists a directory subtree — a
+//! *module boundary*, which is the granularity the project wants
+//! (never line numbers):
+//!
+//! ```toml
+//! [allow]
+//! # why: …
+//! no-wall-clock = [
+//!     "crates/simcore/src/walltime.rs",
+//!     "crates/bench/",
+//! ]
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Parsed allowlist: rule id → path prefixes.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    allow: BTreeMap<String, Vec<String>>,
+}
+
+/// A malformed `simlint.toml` line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the offending text.
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses the allowlist text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        let mut in_allow = false;
+        let mut pending: Option<(String, String, u32)> = None; // (rule, buffer, start line)
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_string();
+
+            if let Some((rule, mut buffer, start)) = pending.take() {
+                buffer.push_str(&line);
+                if line.contains(']') {
+                    config.insert(&rule, &buffer, start)?;
+                } else {
+                    pending = Some((rule, buffer, start));
+                }
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_allow = line == "[allow]";
+                if !in_allow {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown section {line}; only [allow] is supported"),
+                    });
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `rule = [\"path\", …]`, got `{line}`"),
+                });
+            };
+            if !in_allow {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: "entries must live under [allow]".to_string(),
+                });
+            }
+            let rule = key.trim().to_string();
+            let value = value.trim().to_string();
+            if value.contains(']') {
+                config.insert(&rule, &value, lineno)?;
+            } else {
+                pending = Some((rule, value, lineno));
+            }
+        }
+        if let Some((rule, _, start)) = pending {
+            return Err(ConfigError {
+                line: start,
+                message: format!("unclosed array for rule {rule}"),
+            });
+        }
+        Ok(config)
+    }
+
+    fn insert(&mut self, rule: &str, array: &str, line: u32) -> Result<(), ConfigError> {
+        let inner = array
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.trim_end().strip_suffix(']'))
+            .ok_or_else(|| ConfigError {
+                line,
+                message: format!("value for {rule} must be a [\"…\"] array"),
+            })?;
+        let mut paths = Vec::new();
+        for piece in inner.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let path = piece
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| ConfigError {
+                    line,
+                    message: format!("array items for {rule} must be quoted strings"),
+                })?;
+            paths.push(path.to_string());
+        }
+        self.allow.entry(rule.to_string()).or_default().extend(paths);
+        Ok(())
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is allowlisted
+    /// for `rule`. Prefixes ending in `/` match subtrees; others match
+    /// the exact file.
+    pub fn allowed(&self, rule: &str, path: &str) -> bool {
+        self.allow.get(rule).is_some_and(|prefixes| {
+            prefixes.iter().any(|p| {
+                if p.ends_with('/') {
+                    path.starts_with(p.as_str())
+                } else {
+                    path == p
+                }
+            })
+        })
+    }
+
+    /// Rule ids that have at least one allowlist entry (for `--explain`).
+    pub fn rules_with_entries(&self) -> impl Iterator<Item = &str> {
+        self.allow.keys().map(String::as_str)
+    }
+}
+
+/// Removes a `#`-comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_and_multi_line_arrays() {
+        let toml = r#"
+# header comment
+[allow]
+no-wall-clock = ["crates/bench/", "crates/simcore/src/walltime.rs"]
+no-unwrap-in-lib = [
+    "crates/harness/src/parallel.rs", # trailing note
+]
+"#;
+        let c = Config::parse(toml).expect("parses");
+        assert!(c.allowed("no-wall-clock", "crates/bench/src/lib.rs"));
+        assert!(c.allowed("no-wall-clock", "crates/simcore/src/walltime.rs"));
+        assert!(!c.allowed("no-wall-clock", "crates/simcore/src/time.rs"));
+        assert!(c.allowed("no-unwrap-in-lib", "crates/harness/src/parallel.rs"));
+        assert!(!c.allowed("no-unwrap-in-lib", "crates/harness/src/sim.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_bare_values() {
+        assert!(Config::parse("[deny]\n").is_err());
+        assert!(Config::parse("[allow]\nrule = nope\n").is_err());
+        assert!(Config::parse("[allow]\nrule = [\"a\"\n").is_err());
+    }
+
+    #[test]
+    fn exact_file_entries_do_not_match_subpaths() {
+        let c = Config::parse("[allow]\nr = [\"crates/a/src/x.rs\"]\n").expect("parses");
+        assert!(c.allowed("r", "crates/a/src/x.rs"));
+        assert!(!c.allowed("r", "crates/a/src/x.rs.bak"));
+        assert!(!c.allowed("r", "crates/a/src"));
+    }
+}

@@ -1,0 +1,88 @@
+//! simlint CLI: lint the workspace (default) or explicit files.
+//!
+//! Exit status: 0 when clean, 1 on violations, 2 on usage/IO errors.
+
+#![forbid(unsafe_code)]
+
+use simlint::rules::{lint_source, RULES};
+use simlint::{lint_workspace, load_config, workspace_root};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!(
+            "simlint — workspace determinism & invariant lints\n\n\
+             usage: simlint [--list-rules] [FILE.rs ...]\n\n\
+             With no files, lints every .rs file in the workspace using the\n\
+             path-scoped rules and the simlint.toml allowlist. With explicit\n\
+             files, every rule applies regardless of path (fixture mode);\n\
+             inline `// simlint: allow(rule)` annotations are still honoured.\n"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in RULES {
+            println!("{:<26} {}", rule.id, rule.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("simlint: unknown flag {flag} (see --help)");
+        return ExitCode::from(2);
+    }
+
+    let root = workspace_root();
+    let (diagnostics, scanned) = if args.is_empty() {
+        match lint_workspace(&root) {
+            Ok(report) => (report.diagnostics, report.files_scanned),
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let config = match load_config(&root) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut all = Vec::new();
+        for file in &args {
+            let source = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("simlint: {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // Explicit files are linted under every rule; only the file
+            // name matters (for the crate-root check).
+            let name = Path::new(file)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| file.clone());
+            all.extend(lint_source(&name, &source, &config, false));
+        }
+        (all, args.len())
+    };
+
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("simlint: {scanned} file(s) clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simlint: {} violation(s) in {scanned} file(s); see DESIGN.md \
+             § Determinism invariants for rules and allowlisting",
+            diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}

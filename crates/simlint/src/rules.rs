@@ -1,0 +1,514 @@
+//! The lint rules and the per-file diagnostic engine.
+//!
+//! Every rule is lexical: it scans the token stream of one file (via
+//! [`crate::lexer`]) and reports `file:line: rule-id: message`
+//! diagnostics. Rules are scoped by workspace-relative path (see the
+//! `*_SCOPE` tables) and individually suppressible two ways:
+//!
+//! * `simlint.toml` — path-prefix allowlist, for module boundaries
+//!   (e.g. the whole bench harness may read the wall clock);
+//! * `// simlint: allow(rule-id) — reason` — an inline annotation on
+//!   the offending line or the line above it, for individual sites
+//!   whose invariant justifies the construct.
+
+use crate::config::Config;
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable rule id (the allowlist key).
+    pub rule: &'static str,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Rule id + one-line description, for `--list-rules` and docs.
+pub struct RuleInfo {
+    /// Stable id used in allowlists and diagnostics.
+    pub id: &'static str,
+    /// What the rule enforces and why.
+    pub description: &'static str,
+}
+
+/// Every rule simlint enforces.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "no-wall-clock",
+        description: "Instant/SystemTime outside the walltime/bench modules: \
+                      simulated results must never depend on the host clock",
+    },
+    RuleInfo {
+        id: "no-ambient-rng",
+        description: "ambient RNG construction (thread_rng, OsRng, RandomState, …): \
+                      all randomness must be threaded from simcore::Prng seeds",
+    },
+    RuleInfo {
+        id: "no-unordered-iteration",
+        description: "HashMap/HashSet in deterministic crates: iteration order is \
+                      nondeterministic; use BTreeMap/BTreeSet or a sorted Vec",
+    },
+    RuleInfo {
+        id: "forbid-unsafe-everywhere",
+        description: "every crate root (lib, bin, bench, example) must carry \
+                      #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: "no-unwrap-in-lib",
+        description: "unwrap()/expect() in library code outside tests: return a \
+                      Result, or annotate the site with its invariant",
+    },
+    RuleInfo {
+        id: "float-env-guard",
+        description: "mul_add/powi/fma on simulation paths would break the \
+                      documented -C target-cpu=native bit-safety argument",
+    },
+];
+
+/// Crates whose state must be iteration-order independent (the
+/// no-unordered-iteration scope from the issue).
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/gpusim/",
+    "crates/driftgen/",
+    "crates/simcore/",
+    "crates/baselines/",
+    "crates/apps/",
+    "crates/modelzoo/",
+];
+
+/// Library crates whose `src/` (minus `src/bin/`) falls under
+/// no-unwrap-in-lib and float-env-guard. The root package's `src/` is
+/// handled separately.
+const LIB_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/gpusim/",
+    "crates/driftgen/",
+    "crates/simcore/",
+    "crates/baselines/",
+    "crates/apps/",
+    "crates/modelzoo/",
+    "crates/nn/",
+    "crates/harness/",
+];
+
+/// Identifiers that read the host clock.
+const WALL_CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH", "Date"];
+
+/// Identifiers that construct or reach ambient (unseeded) randomness.
+const AMBIENT_RNG_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+    "StdRng",
+    "SmallRng",
+    "rand",
+];
+
+/// Unordered-collection identifiers (including the std entry-API module
+/// names, so `hash_map::Entry` cannot slip through).
+const UNORDERED_IDENTS: &[&str] = &["HashMap", "HashSet", "hash_map", "hash_set"];
+
+/// Float ops whose codegen (FMA contraction, libm polynomial choice)
+/// may vary with the target environment.
+const FLOAT_ENV_IDENTS: &[&str] = &["mul_add", "powi", "fma"];
+
+/// Lints one file. `path` must be workspace-relative with `/`
+/// separators. With `scoped = false` (fixture mode) every rule applies
+/// regardless of path — except forbid-unsafe-everywhere, which still
+/// only fires on crate-root-shaped file names.
+pub fn lint_source(path: &str, source: &str, config: &Config, scoped: bool) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let tests = test_regions(&lexed.tokens);
+    let mut out = Vec::new();
+
+    let in_scope = |rule: &'static str, prefixes: Option<&[&str]>| -> bool {
+        if config.allowed(rule, path) {
+            return false;
+        }
+        if !scoped {
+            return true;
+        }
+        match prefixes {
+            None => true,
+            Some(p) => p.iter().any(|pre| path.starts_with(pre)),
+        }
+    };
+
+    if in_scope("no-wall-clock", None) {
+        ban_idents(
+            path, &lexed, "no-wall-clock", WALL_CLOCK_IDENTS, false, None,
+            "host wall-clock in simulation code; route timing through \
+             adainf_simcore::walltime (overhead metrics) or move it into crates/bench",
+            &mut out,
+        );
+    }
+    if in_scope("no-ambient-rng", None) {
+        ban_idents(
+            path, &lexed, "no-ambient-rng", AMBIENT_RNG_IDENTS, false, None,
+            "ambient randomness; construct adainf_simcore::Prng from a run seed \
+             (Prng::new / Prng::split) instead",
+            &mut out,
+        );
+    }
+    if in_scope("no-unordered-iteration", Some(DETERMINISTIC_CRATES)) {
+        ban_idents(
+            path, &lexed, "no-unordered-iteration", UNORDERED_IDENTS, false, None,
+            "unordered collection in a deterministic crate; use BTreeMap/BTreeSet \
+             or a sorted Vec (point-lookup-only maps may be allowlisted)",
+            &mut out,
+        );
+    }
+    if is_unwrap_scope(path, scoped) && in_scope("no-unwrap-in-lib", None) {
+        ban_idents(
+            path, &lexed, "no-unwrap-in-lib", &["unwrap", "expect"], true, Some(&tests),
+            "panicking extraction in library code; return a Result, or keep an \
+             `expect` and annotate the line with its invariant",
+            &mut out,
+        );
+    }
+    if in_scope("float-env-guard", Some(LIB_OR_ROOT_SRC)) {
+        ban_idents(
+            path, &lexed, "float-env-guard", FLOAT_ENV_IDENTS, false, None,
+            "environment-sensitive float op; write explicit mul+add / repeated \
+             multiplication so results stay bit-identical across targets",
+            &mut out,
+        );
+    }
+    if is_crate_root(path) && in_scope("forbid-unsafe-everywhere", None) {
+        check_forbid_unsafe(path, &lexed, &mut out);
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Path prefixes whose `src/` files count as library simulation code.
+/// (Used via [`is_unwrap_scope`] for the src-only refinement; listed
+/// here so the float guard can share the crate list plus root `src/`.)
+const LIB_OR_ROOT_SRC: &[&str] = &[
+    "crates/core/src/",
+    "crates/gpusim/src/",
+    "crates/driftgen/src/",
+    "crates/simcore/src/",
+    "crates/baselines/src/",
+    "crates/apps/src/",
+    "crates/modelzoo/src/",
+    "crates/nn/src/",
+    "crates/harness/src/",
+    "src/",
+];
+
+/// no-unwrap-in-lib scope: library `src/` files, excluding binary
+/// targets (`src/bin/`), which are applications free to panic on
+/// startup errors.
+fn is_unwrap_scope(path: &str, scoped: bool) -> bool {
+    if !scoped {
+        return true;
+    }
+    if path.contains("/bin/") {
+        return false;
+    }
+    path.starts_with("src/")
+        || LIB_CRATES
+            .iter()
+            .any(|c| path.starts_with(&format!("{c}src/")))
+}
+
+/// Whether `path` is a crate/target root that must carry
+/// `#![forbid(unsafe_code)]`: libs, bins, benches and examples.
+/// (Integration-test roots are exempt: their code runs against
+/// libraries that already forbid unsafe.)
+fn is_crate_root(path: &str) -> bool {
+    if path == "src/lib.rs" || path == "src/main.rs" {
+        return true;
+    }
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some((_, file)) = rest.split_once('/') {
+            if file == "src/lib.rs" || file == "src/main.rs" {
+                return true;
+            }
+            if let Some(bin) = file.strip_prefix("src/bin/") {
+                return !bin.contains('/') && bin.ends_with(".rs");
+            }
+            if let Some(bench) = file.strip_prefix("benches/") {
+                return !bench.contains('/') && bench.ends_with(".rs");
+            }
+            if let Some(ex) = file.strip_prefix("examples/") {
+                return !ex.contains('/') && ex.ends_with(".rs");
+            }
+        }
+        return false;
+    }
+    if let Some(ex) = path.strip_prefix("examples/") {
+        return !ex.contains('/') && ex.ends_with(".rs");
+    }
+    // Fixture mode hands bare file names through `scoped = false`; the
+    // caller names forbid-unsafe fixtures `lib.rs`/`main.rs`.
+    path == "lib.rs" || path == "main.rs"
+}
+
+/// Reports any banned identifier, honouring inline allows and
+/// (optionally) `#[cfg(test)]` regions and a required leading `.`.
+#[allow(clippy::too_many_arguments)]
+fn ban_idents(
+    path: &str,
+    lexed: &LexedFile,
+    rule: &'static str,
+    banned: &[&str],
+    require_dot: bool,
+    skip_regions: Option<&[(u32, u32)]>,
+    message: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        if !banned.iter().any(|b| b == name) {
+            continue;
+        }
+        if require_dot {
+            let prev = i.checked_sub(1).map(|j| &lexed.tokens[j].kind);
+            if prev != Some(&TokenKind::Punct('.')) {
+                continue;
+            }
+        }
+        if let Some(regions) = skip_regions {
+            if regions.iter().any(|&(s, e)| tok.line >= s && tok.line <= e) {
+                continue;
+            }
+        }
+        if lexed.allowed(tok.line, rule) {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: tok.line,
+            rule,
+            message: format!("`{name}`: {message}"),
+        });
+    }
+}
+
+/// Verifies the file opens with `#![forbid(unsafe_code)]`.
+fn check_forbid_unsafe(path: &str, lexed: &LexedFile, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    let found = toks.windows(8).any(|w| {
+        matches!(
+            (&w[0].kind, &w[1].kind, &w[2].kind, &w[3].kind, &w[4].kind, &w[5].kind, &w[6].kind, &w[7].kind),
+            (
+                TokenKind::Punct('#'),
+                TokenKind::Punct('!'),
+                TokenKind::Punct('['),
+                TokenKind::Ident(a),
+                TokenKind::Punct('('),
+                TokenKind::Ident(b),
+                TokenKind::Punct(')'),
+                TokenKind::Punct(']'),
+            ) if a == "forbid" && b == "unsafe_code"
+        )
+    });
+    if !found && !lexed.allowed(1, "forbid-unsafe-everywhere") {
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: "forbid-unsafe-everywhere",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items — the
+/// regions no-unwrap-in-lib skips. Handles `mod tests { … }`, and any
+/// other attributed item by spanning to the item's closing `}` or `;`.
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let Some(end_attr) = match_cfg_test_attr(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let start_line = tokens[i].line;
+        // Skip any further attributes on the same item.
+        let mut j = end_attr;
+        while j < tokens.len() && tokens[j].kind == TokenKind::Punct('#') {
+            j = skip_attr(tokens, j);
+        }
+        // The item extends to the first `;` at depth 0 or the matching
+        // `}` of its first `{`.
+        let mut depth = 0usize;
+        let mut end_line = tokens.get(j).map_or(start_line, |t| t.line);
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = tokens[j].line;
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => {
+                    end_line = tokens[j].line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tokens[j].line;
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j.max(i + 1);
+    }
+    regions
+}
+
+/// If `tokens[i..]` starts a `#[cfg(… test …)]` attribute, returns the
+/// index just past its closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.kind != TokenKind::Punct('#')
+        || tokens.get(i + 1)?.kind != TokenKind::Punct('[')
+    {
+        return None;
+    }
+    if tokens.get(i + 2)?.kind != TokenKind::Ident("cfg".to_string()) {
+        return None;
+    }
+    let end = skip_attr(tokens, i);
+    let has_test = tokens
+        .get(i + 3..end.saturating_sub(1))
+        .unwrap_or(&[])
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident("test".to_string()));
+    has_test.then_some(end)
+}
+
+/// Given `tokens[i] == '#'` starting an attribute, returns the index
+/// just past the matching `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1; // at '['
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, src, &Config::default(), true)
+    }
+
+    #[test]
+    fn wall_clock_flagged_everywhere() {
+        let d = lint("crates/harness/src/sim.rs", "use std::time::Instant;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-wall-clock");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn unordered_scope_is_the_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint("crates/gpusim/src/memory.rs", src)
+            .iter()
+            .any(|d| d.rule == "no-unordered-iteration"));
+        // simlint itself may hash; nn is not in the scope either.
+        assert!(lint("crates/simlint/src/rules.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_skips_cfg_test_and_bins() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g() { None::<u8>.unwrap(); }\n}\n";
+        let d = lint("crates/core/src/plan.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert!(lint("crates/harness/src/bin/adainf-sim.rs", src)
+            .iter()
+            .all(|d| d.rule == "forbid-unsafe-everywhere"));
+    }
+
+    #[test]
+    fn unwrap_requires_method_position() {
+        // A local named `expect`, or `unwrap_or`, must not fire.
+        let src = "pub fn f() { let expect = 1; let _ = Some(2).unwrap_or(expect); }\n";
+        assert!(lint("crates/core/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses_with_reason() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n\
+                   // simlint: allow(no-unwrap-in-lib) — caller checked is_some\n\
+                   x.expect(\"checked\") }\n";
+        assert!(lint("crates/core/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_crate_roots_only() {
+        let missing = "pub fn f() {}\n";
+        let present = "//! doc\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(lint("crates/core/src/lib.rs", missing)
+            .iter()
+            .any(|d| d.rule == "forbid-unsafe-everywhere"));
+        assert!(lint("crates/core/src/lib.rs", present).is_empty());
+        assert!(lint("crates/core/src/plan.rs", missing).is_empty());
+        assert!(lint("crates/bench/src/bin/fig08.rs", missing).len() == 1);
+        assert!(lint("examples/quickstart.rs", missing).len() == 1);
+    }
+
+    #[test]
+    fn float_env_guard_fires_on_lib_src() {
+        let src = "#![forbid(unsafe_code)]\npub fn f(a: f64) -> f64 { a.mul_add(2.0, 1.0) }\n";
+        assert!(lint("crates/nn/src/lib.rs", src)
+            .iter()
+            .any(|d| d.rule == "float-env-guard"));
+    }
+
+    #[test]
+    fn toml_allowlist_is_honoured() {
+        let config =
+            Config::parse("[allow]\nno-wall-clock = [\"crates/bench/\"]\n").expect("parses");
+        let d = lint_source(
+            "crates/bench/src/lib.rs",
+            "#![forbid(unsafe_code)]\nuse std::time::Instant;\n",
+            &config,
+            true,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn ambient_rng_flagged() {
+        let d = lint("crates/driftgen/src/stream.rs", "let mut r = rand::thread_rng();\n");
+        assert!(d.iter().filter(|d| d.rule == "no-ambient-rng").count() >= 1);
+    }
+}

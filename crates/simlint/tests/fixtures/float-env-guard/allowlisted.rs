@@ -1,0 +1,5 @@
+//! Fixture: a guarded use excused inline.
+pub fn fast_path(a: f64, x: f64, c: f64) -> f64 {
+    // simlint: allow(float-env-guard) — output is diagnostic-only, never compared bitwise
+    a.mul_add(x, c)
+}

@@ -1,0 +1,4 @@
+//! Fixture: explicit mul+add keeps results bit-identical everywhere.
+pub fn horner(a: f64, x: f64, c: f64) -> f64 {
+    a * x + c + x * x * x
+}

@@ -1,0 +1,4 @@
+//! Fixture: environment-sensitive float ops on a simulation path.
+pub fn horner(a: f64, x: f64, c: f64) -> f64 {
+    a.mul_add(x, c) + x.powi(3)
+}

@@ -1,0 +1,4 @@
+// simlint: allow(forbid-unsafe-everywhere) — generated shim, no code of its own
+pub fn f() -> u32 {
+    7
+}

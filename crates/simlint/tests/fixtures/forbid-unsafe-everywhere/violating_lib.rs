@@ -1,0 +1,4 @@
+//! Fixture: a crate root missing the unsafe forbid.
+pub fn f() -> u32 {
+    7
+}

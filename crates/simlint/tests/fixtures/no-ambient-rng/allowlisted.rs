@@ -1,0 +1,5 @@
+//! Fixture: an entropy source excused inline.
+pub fn entropy_probe(buf: &mut [u8]) {
+    // simlint: allow(no-ambient-rng) — diagnostics only, never drives the sim
+    getrandom::fill(buf).ok();
+}

@@ -1,0 +1,5 @@
+//! Fixture: randomness threaded from an explicit seed.
+pub fn jitter(seed: u64) -> u64 {
+    let mut prng = adainf_simcore::Prng::new(seed);
+    prng.next_u64()
+}

@@ -1,0 +1,5 @@
+//! Fixture: ambient randomness instead of a seeded Prng.
+pub fn jitter() -> u64 {
+    let mut r = rand::thread_rng();
+    r.next_u64()
+}

@@ -1,0 +1,8 @@
+//! Fixture: a point-lookup-only map excused inline.
+// simlint: allow(no-unordered-iteration) — point lookups only, never iterated
+use std::collections::HashMap;
+
+// simlint: allow(no-unordered-iteration) — point lookups only, never iterated
+pub fn lookup(m: &HashMap<u32, f64>, k: u32) -> Option<f64> {
+    m.get(&k).copied()
+}

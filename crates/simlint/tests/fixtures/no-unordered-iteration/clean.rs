@@ -1,0 +1,6 @@
+//! Fixture: ordered collection, deterministic iteration.
+use std::collections::BTreeMap;
+
+pub fn total(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum()
+}

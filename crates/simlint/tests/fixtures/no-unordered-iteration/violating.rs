@@ -1,0 +1,6 @@
+//! Fixture: iteration-order-dependent state in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum()
+}

@@ -1,0 +1,5 @@
+//! Fixture: an invariant-backed expect, annotated in place.
+pub fn head(xs: &[u32]) -> u32 {
+    // simlint: allow(no-unwrap-in-lib) — callers guarantee non-empty input
+    *xs.first().expect("non-empty by construction")
+}

@@ -1,0 +1,12 @@
+//! Fixture: fallible API, and tests may panic freely.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+    }
+}

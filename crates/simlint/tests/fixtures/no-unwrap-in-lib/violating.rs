@@ -1,0 +1,8 @@
+//! Fixture: panicking extraction in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("has two elements")
+}

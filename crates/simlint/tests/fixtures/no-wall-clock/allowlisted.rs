@@ -1,0 +1,8 @@
+//! Fixture: a wall-clock site excused inline with a justification.
+// simlint: allow(no-wall-clock) — overhead metric, never simulated time
+use std::time::Instant;
+
+pub fn overhead_ms() -> f64 {
+    // simlint: allow(no-wall-clock) — overhead metric, never simulated time
+    Instant::now().elapsed().as_secs_f64() * 1e3
+}

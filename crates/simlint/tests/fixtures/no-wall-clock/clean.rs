@@ -1,0 +1,4 @@
+//! Fixture: timing routed through the simulated clock only.
+pub fn decision_overhead(start_us: u64, end_us: u64) -> u64 {
+    end_us - start_us
+}

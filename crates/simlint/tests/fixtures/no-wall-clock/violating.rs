@@ -1,0 +1,7 @@
+//! Fixture: reads the host clock from simulation code.
+use std::time::Instant;
+
+pub fn decision_overhead() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,28 @@
+//! The live workspace must be lint-clean: this is the same check CI
+//! runs via `cargo run -p simlint --release`, wired into `cargo test`
+//! so a violation fails the ordinary test suite too.
+
+use simlint::{lint_workspace, workspace_root};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("simlint.toml").is_file(),
+        "workspace root {} is missing simlint.toml",
+        root.display()
+    );
+    let report = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

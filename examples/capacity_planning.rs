@@ -9,6 +9,8 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
+#![forbid(unsafe_code)]
+
 use adainf::core::AdaInfConfig;
 use adainf::harness::sim::{run, Method, RunConfig};
 use adainf::simcore::SimDuration;

@@ -8,6 +8,8 @@
 //! cargo run --release --example custom_app
 //! ```
 
+#![forbid(unsafe_code)]
+
 use adainf::apps::{AppRuntime, AppSpec, NodeSpec};
 use adainf::core::plan::Scheduler;
 use adainf::core::profiler::Profiler;

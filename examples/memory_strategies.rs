@@ -10,6 +10,8 @@
 //! cargo run --release --example memory_strategies
 //! ```
 
+#![forbid(unsafe_code)]
+
 use adainf::apps::catalog;
 use adainf::gpusim::content::ReuseCategory;
 use adainf::gpusim::exec::{run_concurrent, TaskExec, TaskKind};

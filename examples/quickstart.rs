@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use adainf::core::AdaInfConfig;
 use adainf::harness::sim::{run, Method, RunConfig};
 use adainf::simcore::SimDuration;

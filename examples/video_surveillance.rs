@@ -10,6 +10,8 @@
 //! cargo run --release --example video_surveillance
 //! ```
 
+#![forbid(unsafe_code)]
+
 use adainf::apps::{catalog, AppRuntime};
 use adainf::core::plan::{Scheduler, SessionCtx};
 use adainf::core::profiler::Profiler;

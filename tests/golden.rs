@@ -7,6 +7,13 @@
 //! engine (`adainf-sim --apps 3 --duration 60 --json`) at three seeds
 //! per method; floats are the shortest round-trip renderings, so the
 //! literals parse back to the exact bits the seed engine produced.
+//!
+//! The simlint determinism pass (HashMap→BTreeMap conversions, the
+//! walltime boundary, unwrap annotations — see DESIGN.md § Determinism
+//! invariants) left every literal below untouched: those changes are
+//! behavior-preserving, and these tests also pass with the
+//! `strict-invariants` runtime checks armed
+//! (`cargo test --features strict-invariants --test golden`).
 
 use adainf::core::AdaInfConfig;
 use adainf::harness::sim::{run, Method, RunConfig};
