@@ -1,0 +1,38 @@
+//! The chaos experiment runner: executes every named fault scenario
+//! against the AdaInf scheduler and prints the suite's markdown table
+//! (see EXPERIMENTS.md § Chaos suite). Exits non-zero if any scenario
+//! violates its documented finish-rate floor, so CI can gate on it.
+//!
+//! `--seed N` picks the suite seed (default 11); `--fast` is accepted
+//! for symmetry with the other runners (the suite horizon is already
+//! short).
+
+#![forbid(unsafe_code)]
+
+use adainf_harness::chaos::{report, run_suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = 11u64;
+    for (i, a) in args.iter().enumerate() {
+        if a == "--seed" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                seed = v;
+            }
+        }
+    }
+    eprintln!("[chaos] running fault scenarios at seed {seed} …");
+    let outcomes = run_suite(seed);
+    println!("## Chaos suite (seed {seed})\n");
+    println!("{}", report(&outcomes));
+    let failed: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| !o.passed)
+        .map(|o| o.name.as_str())
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("[chaos] bound violations: {}", failed.join(", "));
+        std::process::exit(1);
+    }
+    eprintln!("[chaos] all scenarios held their floors");
+}

@@ -1,0 +1,224 @@
+//! Graceful-degradation decisions for overloaded sessions.
+//!
+//! AdaInf's time allocation (§3.3.2) assumes the planned work fits the
+//! SLO; under injected faults (request bursts, device stalls, memory
+//! pressure — see `adainf-driftgen`'s `faultgen`) it does not, and a
+//! scheduler that keeps executing doomed plans wastes GPU time making
+//! every job late. This module holds the pure decision functions the
+//! harness applies on impaired sessions:
+//!
+//! * **SLO-aware admission control** ([`admit_within_slo`]) — extend the
+//!   serial-queue frame-shedding logic to overload: admit only the
+//!   request prefix whose batches can still finish inside the SLO and
+//!   shed the rest up front, freeing their service time.
+//! * **Inference-only fallback** ([`should_shed_retraining`]) — when the
+//!   spare time a plan reserved for retraining has collapsed, drop the
+//!   retraining slices (their samples stay in the pool for calmer
+//!   sessions) rather than blow the inference SLO.
+//! * **Bounded reload retry** ([`ReloadState`]) — under memory pressure,
+//!   evicted parameters are re-fetched at most
+//!   [`DegradePolicy::max_reload_retries`] consecutive times; after
+//!   that the app serves in a degraded steady state instead of
+//!   thrashing the PCIe bus every session.
+//!
+//! All functions are deterministic and allocation-free; the harness
+//! calls them only on sessions with an active fault window, so runs
+//! without faults are bit-identical to runs without the machinery.
+
+use adainf_simcore::SimDuration;
+
+/// Knobs of the degradation behaviour. `Copy` so it can ride inside the
+/// harness run configuration's functional updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Shed requests that cannot finish within the SLO instead of
+    /// running batches that are doomed to miss.
+    pub admission_control: bool,
+    /// Drop planned retraining slices when spare time collapses.
+    pub inference_only_under_pressure: bool,
+    /// Consecutive failed parameter reloads tolerated under memory
+    /// pressure before the app gives up and serves degraded.
+    pub max_reload_retries: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            admission_control: true,
+            inference_only_under_pressure: true,
+            max_reload_retries: 3,
+        }
+    }
+}
+
+/// Outcome of admission control for one job: `admitted + shed`
+/// reconstructs the arrivals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// Requests admitted for service.
+    pub admitted: u32,
+    /// Requests shed up front (counted as SLO misses, but consuming no
+    /// service time).
+    pub shed: u32,
+}
+
+/// Admits the largest request prefix whose sequential batches all
+/// finish within the SLO.
+///
+/// `fixed` is the latency already committed before the first batch
+/// completes (queueing wait + retraining time + reload communication);
+/// `per_batch` the service time of one batch of `batch` requests. Since
+/// batches complete sequentially, batch `i` finishes at
+/// `fixed + per_batch·(i+1)`: the number of batches that fit is
+/// `⌊(slo − fixed) / per_batch⌋`, and partial batches past that point
+/// would miss, so admission is rounded down to whole batches.
+pub fn admit_within_slo(
+    n: u32,
+    batch: u32,
+    per_batch: SimDuration,
+    fixed: SimDuration,
+    slo: SimDuration,
+) -> Admission {
+    if n == 0 {
+        return Admission {
+            admitted: 0,
+            shed: 0,
+        };
+    }
+    let budget = slo.saturating_sub(fixed);
+    let per_batch_us = per_batch.as_micros().max(1);
+    let max_batches = budget.as_micros() / per_batch_us;
+    let cap = max_batches.saturating_mul(batch.max(1) as u64);
+    let admitted = (n as u64).min(cap) as u32;
+    Admission {
+        admitted,
+        shed: n - admitted,
+    }
+}
+
+/// True when running the planned retraining ahead of inference would
+/// push the job past its SLO — the spare time the plan assumed has
+/// collapsed, so the session falls back to inference-only serving.
+pub fn should_shed_retraining(
+    fixed: SimDuration,
+    retrain: SimDuration,
+    inference: SimDuration,
+    slo: SimDuration,
+) -> bool {
+    retrain > SimDuration::ZERO && fixed + retrain + inference > slo
+}
+
+/// Per-application bounded-retry bookkeeping for reloading evicted
+/// content under memory pressure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReloadState {
+    attempts: u32,
+    gave_up: bool,
+}
+
+impl ReloadState {
+    /// True once the retry budget is exhausted: the app serves degraded
+    /// until the pressure window ends.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
+    }
+
+    /// Consecutive failures so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Records one failed reload (the parameters were evicted again
+    /// before the next session). Returns `false` exactly when this
+    /// failure exhausts the budget of `max_retries`.
+    pub fn record_failure(&mut self, max_retries: u32) -> bool {
+        self.attempts = self.attempts.saturating_add(1);
+        if self.attempts > max_retries {
+            self.gave_up = true;
+        }
+        !self.gave_up
+    }
+
+    /// Records a reload that stuck (parameters still resident): the
+    /// consecutive-failure count resets.
+    pub fn record_success(&mut self) {
+        *self = ReloadState::default();
+    }
+
+    /// Clears all state (pressure window closed).
+    pub fn reset(&mut self) {
+        *self = ReloadState::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn admission_is_exact_at_batch_edges() {
+        // 10 ms per batch of 16, 100 ms budget after 20 ms fixed →
+        // 10 whole batches fit → 160 requests.
+        let adm = admit_within_slo(200, 16, ms(10), ms(20), ms(120));
+        assert_eq!(adm.admitted, 160);
+        assert_eq!(adm.shed, 40);
+        // One microsecond short of the budget drops a whole batch.
+        let adm2 = admit_within_slo(
+            200,
+            16,
+            ms(10),
+            ms(20),
+            ms(120) - SimDuration::from_micros(1),
+        );
+        assert_eq!(adm2.admitted, 144);
+    }
+
+    #[test]
+    fn admission_passes_through_when_everything_fits() {
+        let adm = admit_within_slo(40, 16, ms(10), ms(0), ms(400));
+        assert_eq!(adm.admitted, 40);
+        assert_eq!(adm.shed, 0);
+    }
+
+    #[test]
+    fn admission_sheds_everything_when_fixed_exceeds_slo() {
+        let adm = admit_within_slo(40, 16, ms(10), ms(500), ms(400));
+        assert_eq!(adm.admitted, 0);
+        assert_eq!(adm.shed, 40);
+    }
+
+    #[test]
+    fn zero_arrivals_admit_nothing() {
+        let adm = admit_within_slo(0, 16, ms(10), ms(0), ms(400));
+        assert_eq!((adm.admitted, adm.shed), (0, 0));
+    }
+
+    #[test]
+    fn retraining_sheds_only_when_it_breaks_the_slo() {
+        assert!(!should_shed_retraining(ms(0), ms(100), ms(200), ms(400)));
+        assert!(should_shed_retraining(ms(0), ms(300), ms(200), ms(400)));
+        // No retraining planned → nothing to shed even when late.
+        assert!(!should_shed_retraining(ms(300), ms(0), ms(200), ms(400)));
+    }
+
+    #[test]
+    fn reload_retry_is_bounded_and_resets_on_success() {
+        let mut s = ReloadState::default();
+        assert!(s.record_failure(3));
+        assert!(s.record_failure(3));
+        s.record_success();
+        assert_eq!(s.attempts(), 0);
+        // Three tolerated failures, the fourth gives up.
+        assert!(s.record_failure(3));
+        assert!(s.record_failure(3));
+        assert!(s.record_failure(3));
+        assert!(!s.record_failure(3));
+        assert!(s.gave_up());
+        s.reset();
+        assert!(!s.gave_up());
+    }
+}

@@ -27,6 +27,9 @@
 //!   and retraining, early-exit structure selection under the accuracy
 //!   threshold `A_m`, impact-proportional retraining-time division and
 //!   retraining-setting selection.
+//! * [`degrade`] — graceful-degradation decisions for overloaded
+//!   sessions: SLO-aware admission control, inference-only fallback and
+//!   bounded reload retry, driven by the harness's fault injection.
 //! * [`config`] — all tunables (α, `A_m`, `S`…) and the ablation switches
 //!   (/I, /U, /S, /E, /M1, /M2 of §5.2).
 //! * [`cache`] — exact memoisation of the per-session scheduling
@@ -38,6 +41,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod degrade;
 pub mod drift_detect;
 pub mod incremental;
 pub mod plan;
@@ -49,5 +53,6 @@ pub mod space;
 pub mod timealloc;
 
 pub use config::AdaInfConfig;
+pub use degrade::DegradePolicy;
 pub use plan::{JobPlan, PeriodPlan, RetrainSlice, Scheduler, SessionCtx};
 pub use scheduler::AdaInfScheduler;

@@ -180,12 +180,15 @@ pub fn plan_time(
 
 /// Applies the live pool state to a plan's proto slices: each slice's
 /// samples are capped at the node's remaining pool, and empty slices
-/// are dropped.
+/// are dropped. A slice whose node has no pool entry at all (pool state
+/// shorter than the DAG — the state pool-exhaustion faults produce) is
+/// dropped rather than indexed out of bounds.
 pub fn clamp_slices(proto: &[ProtoSlice], pool_remaining: &[usize]) -> Vec<RetrainSlice> {
     proto
         .iter()
         .filter_map(|p| {
-            let samples = p.fit.min(pool_remaining[p.node] as u32);
+            let remaining = *pool_remaining.get(p.node)?;
+            let samples = p.fit.min(remaining as u32);
             if samples == 0 {
                 return None;
             }
@@ -362,6 +365,32 @@ mod tests {
         );
         // Pools for nodes 1 and 2 are empty → no slices at all.
         assert!(alloc.slices.is_empty(), "{:?}", alloc.slices);
+    }
+
+    #[test]
+    fn clamp_drops_slices_past_the_pool_vector() {
+        // A proto slice whose node id exceeds the pool state (the shape
+        // pool-exhaustion faults produce) is dropped, not a panic.
+        let proto = vec![
+            ProtoSlice {
+                node: 0,
+                time: SimDuration::from_millis(10),
+                fit: 32,
+                batch: 16,
+                epochs: 1,
+            },
+            ProtoSlice {
+                node: 5,
+                time: SimDuration::from_millis(10),
+                fit: 32,
+                batch: 16,
+                epochs: 1,
+            },
+        ];
+        let slices = clamp_slices(&proto, &[20]);
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].node, 0);
+        assert_eq!(slices[0].samples, 20, "capped at the remaining pool");
     }
 
     #[test]

@@ -220,7 +220,12 @@ impl LatencyModel {
     }
 
     /// Number of retraining samples that fit in `budget` at the given
-    /// setting (inverse of [`Self::training_latency`] for one epoch).
+    /// setting — the **exact** inverse of [`Self::training_latency`] for
+    /// one epoch at batch granularity. One-epoch latency depends on the
+    /// sample count only through `ceil(n/batch)`, so the maximal count
+    /// that fits is a whole number of batches:
+    /// `⌊budget/per_batch⌋ · batch` fits, and any count one batch larger
+    /// does not (see `samples_within_is_exact_inverse_at_batch_edges`).
     pub fn samples_within(
         &self,
         structure: &StructureCost,
@@ -232,8 +237,26 @@ impl LatencyModel {
         if per_batch == SimDuration::ZERO {
             return 0;
         }
-        let batches = budget.as_micros() / per_batch.as_micros().max(1);
-        (batches as u32).saturating_mul(batch)
+        let batches = budget.as_micros() / per_batch.as_micros();
+        // A huge budget over a featherweight setting can exceed u32
+        // batches; saturate instead of silently truncating (the old
+        // `as u32` cast wrapped, returning a tiny sample budget).
+        u32::try_from(batches)
+            .unwrap_or(u32::MAX)
+            .saturating_mul(batch.max(1))
+    }
+
+    /// A copy of this law for a transiently stalled device — the chaos
+    /// suite's injection point for device-stall faults. A stall slows
+    /// compute and kernel launches alike, so every GPU latency this
+    /// model produces scales by `factor` (clamped to ≥ 1).
+    pub fn with_stall(&self, factor: f64) -> LatencyModel {
+        let f = factor.max(1.0);
+        LatencyModel {
+            throughput: self.throughput / f,
+            overhead_us: self.overhead_us * f,
+            ..self.clone()
+        }
     }
 
     /// CPU inference latency for a job of `n` requests (§6): CPUs gain
@@ -365,9 +388,87 @@ mod tests {
         assert!(tr > inf * 5);
         let lat = m.training_latency(&s, 160, 16, 1, 0.5);
         assert_eq!(lat, tr * 10);
-        // samples_within inverts approximately (within one batch).
+        // samples_within inverts exactly at batch granularity.
         let n = m.samples_within(&s, 16, 0.5, lat);
-        assert!((n as i64 - 160).unsigned_abs() <= 16, "n={n}");
+        assert_eq!(n, 160);
+    }
+
+    #[test]
+    fn samples_within_is_exact_inverse_at_batch_edges() {
+        // Property: for any setting, the returned count fits the budget
+        // and one more batch does not — `samples_within` is the exact
+        // inverse of one-epoch `training_latency` at batch granularity.
+        let m = LatencyModel::default();
+        let structures = [
+            reference(),
+            StructureCost {
+                flops_per_sample: 4.0e7,
+                activation_bytes: 6.0e5,
+                param_bytes: 1.0e7,
+            },
+        ];
+        for s in &structures {
+            for &batch in &BATCH_CANDIDATES {
+                for frac in [0.25, 0.5, 1.0] {
+                    let per = m.per_batch_training(s, batch, frac);
+                    for budget in [
+                        per.mul_f64(0.4),
+                        per,
+                        per * 3 + SimDuration::from_micros(per.as_micros() / 2),
+                        per * 57,
+                        SimDuration::from_secs(2),
+                    ] {
+                        let n = m.samples_within(s, batch, frac, budget);
+                        assert!(
+                            m.training_latency(s, n, batch, 1, frac) <= budget,
+                            "batch {batch} frac {frac}: n={n} overruns {budget:?}"
+                        );
+                        assert!(
+                            m.training_latency(s, n + batch, batch, 1, frac) > budget,
+                            "batch {batch} frac {frac}: n={n} not maximal for {budget:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn samples_within_saturates_instead_of_wrapping() {
+        // A near-infinite budget must saturate, not wrap the u32 batch
+        // count into a tiny sample allowance.
+        let m = LatencyModel::default();
+        let n = m.samples_within(
+            &reference(),
+            64,
+            1.0,
+            SimDuration::from_secs(u64::MAX / 2_000_000),
+        );
+        assert_eq!(n, u32::MAX);
+    }
+
+    #[test]
+    fn stalled_device_scales_every_latency() {
+        let m = LatencyModel::default();
+        let stalled = m.with_stall(4.0);
+        let s = reference();
+        for &batch in &BATCH_CANDIDATES {
+            let base = m.per_batch_inference(&s, batch, 0.5).as_millis_f64();
+            let slow = stalled.per_batch_inference(&s, batch, 0.5).as_millis_f64();
+            let ratio = slow / base;
+            // Durations quantise to whole microseconds, so small batches
+            // carry a little rounding noise in the ratio.
+            assert!(
+                (ratio - 4.0).abs() < 2e-2,
+                "batch {batch}: stall ratio {ratio}"
+            );
+        }
+        // Factors below 1 are clamped: a "stall" cannot speed things up.
+        let clamped = m.with_stall(0.25);
+        assert_eq!(
+            clamped.per_batch_inference(&s, 16, 1.0),
+            m.per_batch_inference(&s, 16, 1.0)
+        );
     }
 
     #[test]

@@ -149,12 +149,19 @@ pub struct MemoryStats {
     pub comm_time: SimDuration,
     /// Total bytes moved either direction.
     pub bytes_moved: u64,
+    /// Evictions + drops forced by [`GpuMemory::apply_pressure`]
+    /// capacity collapses (eviction storms), a subset of
+    /// `evictions + drops`.
+    pub pressure_evictions: u64,
 }
 
 /// The shared GPU memory manager.
 #[derive(Clone, Debug)]
 pub struct GpuMemory {
     config: MemoryConfig,
+    /// Capacity currently enforced: the configured bytes, except while
+    /// an injected memory-pressure fault holds it lower.
+    effective_capacity: u64,
     resident: BTreeMap<ContentKey, Resident>,
     used: u64,
     /// Non-resident contents we know about, and where they live.
@@ -186,6 +193,7 @@ impl GpuMemory {
     pub fn new(config: MemoryConfig) -> Self {
         let bus = crate::transfer::TransferBus::new(config.pageable_bandwidth);
         GpuMemory {
+            effective_capacity: config.gpu_capacity,
             config,
             resident: BTreeMap::new(),
             used: 0,
@@ -256,60 +264,77 @@ impl GpuMemory {
     /// Frees space for `needed` bytes by evicting victims according to the
     /// configured policy. Returns the GPU→CPU transfer time incurred.
     fn make_room(&mut self, needed: u64, now: SimTime) -> SimDuration {
-        if self.used + needed <= self.config.gpu_capacity {
+        if self.used + needed <= self.effective_capacity {
             return SimDuration::ZERO;
         }
-        let mut to_free = (self.used + needed).saturating_sub(self.config.gpu_capacity);
+        let mut to_free = (self.used + needed).saturating_sub(self.effective_capacity);
         // Rank victims: LRU by last access, Priority by descending S_c
         // (ties broken by older access for determinism).
-        let mut victims: Vec<(ContentKey, u64, f64, SimTime, bool)> = self
+        struct Victim {
+            key: ContentKey,
+            bytes: u64,
+            score: f64,
+            last_access: SimTime,
+            dead: bool,
+            slo_ms: f64,
+        }
+        let mut victims: Vec<Victim> = self
             .resident
             .iter()
-            .map(|(k, e)| (*k, e.bytes, self.score(k, e), e.last_access, e.dead))
+            .map(|(k, e)| Victim {
+                key: *k,
+                bytes: e.bytes,
+                score: self.score(k, e),
+                last_access: e.last_access,
+                dead: e.dead,
+                slo_ms: e.slo_ms,
+            })
             .collect();
         match self.config.policy {
             EvictionPolicyKind::Lru => {
-                victims.sort_by_key(|(k, _, _, t, _)| (*t, *k));
+                victims.sort_by_key(|v| (v.last_access, v.key));
             }
             EvictionPolicyKind::Priority => {
                 victims.sort_by(|a, b| {
-                    b.2.partial_cmp(&a.2)
+                    b.score
+                        .partial_cmp(&a.score)
                         // simlint: allow(no-unwrap-in-lib) — victim scores are reuse distances: finite or +inf, never NaN
                         .expect("scores are finite or +inf")
-                        .then(a.3.cmp(&b.3))
-                        .then(a.0.cmp(&b.0))
+                        .then(a.last_access.cmp(&b.last_access))
+                        .then(a.key.cmp(&b.key))
                 });
             }
         }
         let mut comm = SimDuration::ZERO;
-        for (key, bytes, score, _, dead) in victims {
+        for v in victims {
             if to_free == 0 {
                 break;
             }
-            self.resident.remove(&key);
+            self.resident.remove(&v.key);
             if cfg!(feature = "strict-invariants") {
                 assert!(
-                    self.used >= bytes,
-                    "strict-invariants: evicting {bytes} B with only {} B accounted resident",
+                    self.used >= v.bytes,
+                    "strict-invariants: evicting {} B with only {} B accounted resident",
+                    v.bytes,
                     self.used
                 );
             }
-            self.used -= bytes;
-            to_free = to_free.saturating_sub(bytes);
-            if dead {
+            self.used -= v.bytes;
+            to_free = to_free.saturating_sub(v.bytes);
+            if v.dead {
                 // Garbage: dropped, no writeback.
                 self.stats.drops += 1;
                 continue;
             }
             self.stats.evictions += 1;
-            self.stats.bytes_moved += bytes;
+            self.stats.bytes_moved += v.bytes;
             // Stage in PIN when the policy supports it and the content is
             // expected back soon (low score) and PIN has room.
             let location = if self.config.policy == EvictionPolicyKind::Priority
-                && score < self.pin_score_threshold()
-                && self.pin_used + bytes <= self.config.pin_capacity
+                && v.score < self.pin_score_threshold(v.slo_ms)
+                && self.pin_used + v.bytes <= self.config.pin_capacity
             {
-                self.pin_used += bytes;
+                self.pin_used += v.bytes;
                 CpuLocation::Pinned
             } else {
                 CpuLocation::Pageable
@@ -318,21 +343,57 @@ impl GpuMemory {
                 CpuLocation::Pinned => self.config.pin_bandwidth,
                 CpuLocation::Pageable => self.config.pageable_bandwidth,
             };
-            comm += self.transfer_cost(bytes, bandwidth, now);
-            self.spilled.insert(key, location);
+            comm += self.transfer_cost(v.bytes, bandwidth, now);
+            self.spilled.insert(v.key, location);
         }
         self.stats.comm_time += comm;
         comm
     }
 
-    /// Contents scoring below this go to PIN. The threshold separates the
-    /// "reused soon" categories (intermediates, retraining params) from
-    /// the "reused next job" category, using the midpoint between the
-    /// retraining-intermediate and inference-param `R_c` values.
-    fn pin_score_threshold(&self) -> f64 {
+    /// PIN-staging threshold for a victim whose owning application has
+    /// SLO `slo_ms`: contents scoring below it go to PIN. The threshold
+    /// separates the "reused soon" categories (intermediates, retraining
+    /// params) from the "reused next job" category, using the midpoint
+    /// between the retraining-intermediate and inference-param `R_c`
+    /// values — with the victim's own SLO as the `L_s` term, so the
+    /// comparison `S_c < threshold` reduces to `R_c < mid` for every
+    /// application regardless of how tight its SLO is. (An earlier
+    /// version hardcoded a 500 ms SLO term, which mis-staged PIN for any
+    /// application whose SLO was far from that: tight-SLO apps pinned
+    /// their never-coming-back inference params, loose-SLO apps never
+    /// pinned their about-to-be-reused retraining intermediates.)
+    fn pin_score_threshold(&self, slo_ms: f64) -> f64 {
         let t = &self.config.reuse_table_ms;
         let mid = (t[2] + t[3]) / 2.0;
-        (1.0 - self.config.alpha) * mid + self.config.alpha * 500.0
+        (1.0 - self.config.alpha) * mid + self.config.alpha * slo_ms
+    }
+
+    /// Chaos injection point: collapses the enforced capacity to `frac`
+    /// of the configured bytes and immediately evicts down to it — an
+    /// eviction storm. The storm's evictions and drops are accounted in
+    /// [`MemoryStats::pressure_evictions`] as well as the regular
+    /// counters. Returns the writeback time incurred.
+    pub fn apply_pressure(&mut self, frac: f64, now: SimTime) -> SimDuration {
+        let frac = frac.clamp(0.0, 1.0);
+        self.effective_capacity =
+            ((self.config.gpu_capacity as f64 * frac).max(1.0)) as u64;
+        let before = self.stats.evictions + self.stats.drops;
+        let comm = self.make_room(0, now);
+        self.stats.pressure_evictions +=
+            (self.stats.evictions + self.stats.drops).saturating_sub(before);
+        comm
+    }
+
+    /// Lifts [`Self::apply_pressure`]: the configured capacity is
+    /// enforced again from the next access on.
+    pub fn release_pressure(&mut self) {
+        self.effective_capacity = self.config.gpu_capacity;
+    }
+
+    /// The capacity currently enforced (configured bytes, unless a
+    /// pressure fault holds it lower).
+    pub fn capacity(&self) -> u64 {
+        self.effective_capacity
     }
 
     /// Touches a content block: the central entry point of the simulator.
@@ -798,6 +859,91 @@ mod tests {
             contended > free_flow,
             "contended {contended:?} vs free {free_flow:?}"
         );
+    }
+
+    #[test]
+    fn pressure_forces_eviction_storm_and_release_restores() {
+        let mut mem = GpuMemory::new(small_config(EvictionPolicyKind::Lru));
+        let a = ContentKey::intermediate(1, 1, 0, 1);
+        let b = ContentKey::intermediate(1, 2, 0, 1);
+        mem.access(a, 400, TaskContext::Inference, 1, 0, 400.0, AccessIntent::Produce, t(0));
+        mem.access(b, 400, TaskContext::Inference, 1, 0, 400.0, AccessIntent::Produce, t(10));
+        assert_eq!(mem.used(), 800);
+        // Collapse to 30 % of 1000 B → both contents must go.
+        let comm = mem.apply_pressure(0.3, t(20));
+        assert!(comm > SimDuration::ZERO, "storm writes back");
+        assert_eq!(mem.capacity(), 300);
+        assert!(mem.used() <= 300, "used {} over pressure cap", mem.used());
+        assert_eq!(mem.stats().pressure_evictions, 2);
+        assert_eq!(mem.stats().evictions, 2);
+        // Refetch under pressure thrashes; release restores capacity and
+        // both fit again with no further evictions.
+        mem.release_pressure();
+        assert_eq!(mem.capacity(), 1000);
+        let evictions_before = mem.stats().evictions;
+        mem.access(a, 400, TaskContext::Inference, 1, 0, 400.0, AccessIntent::Fetch, t(30));
+        mem.access(b, 400, TaskContext::Inference, 1, 0, 400.0, AccessIntent::Fetch, t(40));
+        assert_eq!(mem.stats().evictions, evictions_before);
+        assert_eq!(mem.used(), 800);
+    }
+
+    #[test]
+    fn pressure_storm_counts_dead_drops_separately() {
+        let mut mem = GpuMemory::new(small_config(EvictionPolicyKind::Priority));
+        let inter = ContentKey::intermediate(1, 1, 0, 7);
+        mem.access(inter, 600, TaskContext::Inference, 7, 0, 400.0, AccessIntent::Produce, t(0));
+        mem.retire_job(1, 7, false);
+        let comm = mem.apply_pressure(0.1, t(10));
+        assert_eq!(comm, SimDuration::ZERO, "dead blocks drop for free");
+        assert_eq!(mem.stats().pressure_evictions, 1);
+        assert_eq!(mem.stats().drops, 1);
+        assert_eq!(mem.stats().evictions, 0);
+    }
+
+    #[test]
+    fn pin_threshold_derives_from_the_victims_own_slo() {
+        // Retraining intermediates (R_c below the category midpoint) pin
+        // regardless of the owning app's SLO; inference params (R_c
+        // above it) never do. The hardcoded-500 ms version got both
+        // wrong away from 500 ms: a 50 ms-SLO app's params scored below
+        // the fixed threshold (wrongly pinned), a 1200 ms-SLO app's
+        // intermediates scored above it (wrongly pageable).
+        for slo_ms in [50.0, 400.0, 1200.0] {
+            let mut cfg = small_config(EvictionPolicyKind::Priority);
+            cfg.gpu_capacity = 500;
+            cfg.pin_capacity = 2000; // PIN space never binds in this test
+            let pinned = SimDuration::from_millis_f64(400.0 / cfg.pin_bandwidth * 1e3);
+            let pageable =
+                SimDuration::from_millis_f64(400.0 / cfg.pageable_bandwidth * 1e3);
+            // Park a retraining intermediate, force it out with a second
+            // intermediate, refetch. The measured refetch = evicting the
+            // spoiler (also a retraining intermediate → PIN) + fetching
+            // the victim back from wherever it was staged.
+            let mut mem = GpuMemory::new(cfg.clone());
+            let inter = ContentKey::intermediate(1, 1, 0, 1);
+            let spoiler = ContentKey::intermediate(1, 2, 0, 1);
+            mem.access(inter, 400, TaskContext::Retraining, 1, 0, slo_ms, AccessIntent::Produce, t(0));
+            mem.access(spoiler, 400, TaskContext::Retraining, 1, 0, slo_ms, AccessIntent::Produce, t(10));
+            let refetch = mem.access(inter, 400, TaskContext::Retraining, 1, 0, slo_ms, AccessIntent::Fetch, t(20));
+            assert_eq!(
+                refetch,
+                pinned + pinned,
+                "slo {slo_ms}: intermediate refetch should ride PIN"
+            );
+            // Same shape with inference params: the spoiler (inference
+            // intermediate) still pins, but the params must come back at
+            // the pageable rate.
+            let mut mem = GpuMemory::new(cfg.clone());
+            let param = ContentKey::param(1, 1, 0);
+            mem.access(param, 400, TaskContext::Inference, 1, 0, slo_ms, AccessIntent::Fetch, t(0));
+            mem.access(spoiler, 400, TaskContext::Inference, 1, 0, slo_ms, AccessIntent::Produce, t(10));
+            let refetch = mem.access(param, 400, TaskContext::Inference, 1, 0, slo_ms, AccessIntent::Fetch, t(20));
+            assert_eq!(
+                refetch,
+                pinned + pageable,
+                "slo {slo_ms}: param refetch should stay pageable"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! The chaos experiment suite: named fault scenarios run against a
+//! scheduler, each with a documented SLO-violation bound.
+//!
+//! Every scenario injects one seeded fault family (see
+//! `adainf-driftgen`'s `faultgen`) into an otherwise standard run and
+//! checks that graceful degradation holds the mean finish rate above
+//! the scenario's floor. The floors are deliberately loose bounds on
+//! *collapse*, not regression fences: they state that under each fault
+//! the serving loop sheds/degrades instead of falling over, while the
+//! pristine-run goldens (tests/golden.rs) pin exact behaviour. The
+//! suite runs in CI under `strict-invariants`, so every injection point
+//! also exercises the simulator's runtime asserts.
+
+use crate::metrics::RunMetrics;
+use crate::sim::{ChaosConfig, Method, RunConfig};
+use adainf_core::AdaInfConfig;
+use adainf_driftgen::FaultSpec;
+use adainf_simcore::SimDuration;
+use std::sync::Arc;
+
+/// One named scenario: a fault spec plus its finish-rate floor.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Scenario name (matches the fault family it injects).
+    pub name: &'static str,
+    /// Fault spec, parameterised by the suite seed.
+    pub spec: fn(u64) -> FaultSpec,
+    /// Documented lower bound on the mean finish rate: the scenario
+    /// *violates its bound* — and the suite fails — below this.
+    pub finish_floor: f64,
+}
+
+/// The scenario catalogue, with the floors documented in
+/// EXPERIMENTS.md. A pristine control run (no faults) rides along at
+/// the front so collapse is measured against the same configuration.
+pub const SCENARIOS: [Scenario; 5] = [
+    Scenario {
+        name: "control",
+        spec: FaultSpec::none,
+        finish_floor: 0.60,
+    },
+    Scenario {
+        name: "rate-burst",
+        spec: FaultSpec::rate_burst,
+        finish_floor: 0.35,
+    },
+    Scenario {
+        name: "memory-pressure",
+        spec: FaultSpec::memory_pressure,
+        finish_floor: 0.35,
+    },
+    Scenario {
+        name: "pool-starvation",
+        spec: FaultSpec::pool_starvation,
+        finish_floor: 0.50,
+    },
+    Scenario {
+        name: "device-stall",
+        spec: FaultSpec::device_stall,
+        finish_floor: 0.30,
+    },
+];
+
+/// Outcome of one scenario run.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Mean finish rate over the run.
+    pub finish_rate: f64,
+    /// The scenario's documented floor.
+    pub finish_floor: f64,
+    /// Whether the finish rate held its floor.
+    pub passed: bool,
+    /// Requests shed by admission control.
+    pub shed_requests: u64,
+    /// Jobs served degraded after reload give-up.
+    pub degraded_jobs: u64,
+    /// Sessions inside an active fault window.
+    pub fault_sessions: u64,
+    /// Pressure windows opened.
+    pub eviction_storms: u64,
+    /// Evictions + drops those storms forced.
+    pub storm_evictions: u64,
+    /// Pool samples destroyed by starvation.
+    pub starved_samples: u64,
+}
+
+/// The configuration every scenario runs under: short horizon (chaos
+/// laws guarantee ≥ 2 windows per family in 60 s), small app set, the
+/// AdaInf scheduler.
+pub fn suite_config(seed: u64) -> RunConfig {
+    RunConfig {
+        seed,
+        duration: SimDuration::from_secs(60),
+        num_gpus: 4,
+        num_apps: 3,
+        base_rate: 4000.0,
+        pool_size: 1000,
+        method: Method::AdaInf(AdaInfConfig::default()),
+        comm: None,
+        device_factors: Arc::from([]),
+        chaos: None,
+    }
+}
+
+/// Runs one scenario at `seed` and evaluates its bound.
+pub fn run_scenario(scenario: &Scenario, seed: u64) -> ChaosOutcome {
+    let mut cfg = suite_config(seed);
+    let spec = (scenario.spec)(seed);
+    if !spec.is_empty() {
+        cfg.chaos = Some(ChaosConfig::scenario(spec));
+    }
+    let m = crate::sim::run(cfg);
+    outcome(scenario, &m)
+}
+
+fn outcome(scenario: &Scenario, m: &RunMetrics) -> ChaosOutcome {
+    let finish_rate = m.mean_finish_rate();
+    ChaosOutcome {
+        name: scenario.name.to_string(),
+        finish_rate,
+        finish_floor: scenario.finish_floor,
+        passed: finish_rate >= scenario.finish_floor,
+        shed_requests: m.shed_requests,
+        degraded_jobs: m.degraded_jobs,
+        fault_sessions: m.fault_sessions,
+        eviction_storms: m.eviction_storms,
+        storm_evictions: m.storm_evictions,
+        starved_samples: m.starved_samples,
+    }
+}
+
+/// Runs the whole catalogue at `seed`.
+pub fn run_suite(seed: u64) -> Vec<ChaosOutcome> {
+    SCENARIOS
+        .iter()
+        .map(|s| run_scenario(s, seed))
+        .collect()
+}
+
+/// Renders suite outcomes as a markdown table.
+pub fn report(outcomes: &[ChaosOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| scenario | finish | floor | ok | shed | degraded | fault sessions | storms | storm evictions | starved |\n",
+    );
+    out.push_str(
+        "|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for o in outcomes {
+        out.push_str(&format!(
+            "| {} | {:.4} | {:.2} | {} | {} | {} | {} | {} | {} | {} |\n",
+            o.name,
+            o.finish_rate,
+            o.finish_floor,
+            if o.passed { "yes" } else { "NO" },
+            o.shed_requests,
+            o.degraded_jobs,
+            o.fault_sessions,
+            o.eviction_storms,
+            o.storm_evictions,
+            o.starved_samples,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_names_are_unique_and_floors_sane() {
+        for (i, a) in SCENARIOS.iter().enumerate() {
+            assert!(a.finish_floor > 0.0 && a.finish_floor < 1.0);
+            for b in &SCENARIOS[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_one_row_per_outcome() {
+        let scenario = &SCENARIOS[0];
+        let m = RunMetrics::new("AdaInf".into(), &[2]);
+        let o = outcome(scenario, &m);
+        let md = report(&[o]);
+        assert_eq!(md.lines().count(), 3);
+        assert!(md.contains("| control |"));
+    }
+}

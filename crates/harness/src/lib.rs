@@ -17,10 +17,14 @@
 //!   used by the `adainf-bench` regenerator binaries.
 //! * [`report`] — plain-text/markdown/JSON emitters for the regenerated
 //!   tables and series.
+//! * [`chaos`] — the chaos experiment suite: named fault scenarios
+//!   (request bursts, eviction storms, pool starvation, device stalls)
+//!   run against the schedulers, with per-scenario SLO-violation bounds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod json;
 pub mod metrics;
@@ -28,6 +32,7 @@ pub mod parallel;
 pub mod report;
 pub mod sim;
 
+pub use chaos::{run_suite, ChaosOutcome};
 pub use metrics::RunMetrics;
 pub use parallel::run_many;
-pub use sim::{Method, RunConfig, Simulation};
+pub use sim::{ChaosConfig, Method, RunConfig, Simulation};

@@ -67,6 +67,30 @@ pub struct RunMetrics {
     pub diag_planned: OnlineStats,
     /// Diagnostics: retraining samples actually taken per job.
     pub diag_taken: OnlineStats,
+    /// Requests shed by SLO-aware admission control (counted as missed
+    /// in `finish` but consuming no service time). Zero without faults.
+    pub shed_requests: u64,
+    /// Jobs served with stale (given-up) parameters under memory
+    /// pressure — the degraded steady state of bounded reload retry.
+    pub degraded_jobs: u64,
+    /// Retraining slices dropped by the inference-only fallback.
+    pub dropped_retrain_slices: u64,
+    /// Sessions that ran inside at least one active fault window.
+    pub fault_sessions: u64,
+    /// Memory-pressure windows that opened (each triggers one storm).
+    pub eviction_storms: u64,
+    /// Evictions + drops forced by pressure storms (from the fault
+    /// memory model's accounting).
+    pub storm_evictions: u64,
+    /// Parameter-reload attempts made after pressure evicted content.
+    pub reload_retries: u64,
+    /// Reload give-ups: apps that exhausted the retry budget.
+    pub reload_gave_up: u64,
+    /// Retraining-pool samples destroyed by starvation windows.
+    pub starved_samples: u64,
+    /// Communication time injected by fault handling (storm writebacks
+    /// and parameter reloads), ms per affected session.
+    pub fault_comm: OnlineStats,
 }
 
 impl RunMetrics {
@@ -109,6 +133,16 @@ impl RunMetrics {
             diag_free: OnlineStats::new(),
             diag_planned: OnlineStats::new(),
             diag_taken: OnlineStats::new(),
+            shed_requests: 0,
+            degraded_jobs: 0,
+            dropped_retrain_slices: 0,
+            fault_sessions: 0,
+            eviction_storms: 0,
+            storm_evictions: 0,
+            reload_retries: 0,
+            reload_gave_up: 0,
+            starved_samples: 0,
+            fault_comm: OnlineStats::new(),
         }
     }
 
@@ -165,6 +199,9 @@ impl RunMetrics {
             period_overhead_ms: self.period_overhead.mean(),
             sched_overhead_ms: self.sched_overhead.mean(),
             cache_hit_rate: self.cache_hit_rate(),
+            shed_requests: self.shed_requests,
+            degraded_jobs: self.degraded_jobs,
+            fault_sessions: self.fault_sessions,
         }
     }
 }
@@ -272,6 +309,12 @@ pub struct Summary {
     pub sched_overhead_ms: f64,
     /// Scheduler decision-cache hit rate (0 when no cache ran).
     pub cache_hit_rate: f64,
+    /// Requests shed by admission control (0 without faults).
+    pub shed_requests: u64,
+    /// Jobs served degraded after reload give-up (0 without faults).
+    pub degraded_jobs: u64,
+    /// Sessions inside an active fault window (0 without faults).
+    pub fault_sessions: u64,
 }
 
 impl Summary {
@@ -295,6 +338,9 @@ impl Summary {
             ("period_overhead_ms", json::num(self.period_overhead_ms)),
             ("sched_overhead_ms", json::num(self.sched_overhead_ms)),
             ("cache_hit_rate", json::num(self.cache_hit_rate)),
+            ("shed_requests", json::int(self.shed_requests)),
+            ("degraded_jobs", json::int(self.degraded_jobs)),
+            ("fault_sessions", json::int(self.fault_sessions)),
         ])
     }
 }
