@@ -38,10 +38,10 @@ fn bench_period_planning(c: &mut Criterion) {
     group.bench_function("drift_detection_8_apps", |b| {
         let mut apps = decision_bench::Scenario::standard().apps;
         let config = AdaInfConfig::default();
-        let mut rng = Prng::new(1);
+        let rng = Prng::new(1);
         b.iter(|| {
             for rt in &mut apps {
-                black_box(detect_drift(rt, &config, &mut rng));
+                black_box(detect_drift(rt, &config, &rng));
             }
         })
     });

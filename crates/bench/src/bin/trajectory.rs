@@ -46,6 +46,7 @@ fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
                 json::num(m.sched_overhead.mean() * 1e3),
             ),
             ("cache_hit_rate", json::num(m.summary().cache_hit_rate)),
+            ("drift_detect_us", json::num(m.summary().drift_detect_us)),
         ])
     });
     let total_sessions: u64 =

@@ -3,13 +3,15 @@
 //! The §3.3 searches (SLO-demand inversion, batch re-adjustment and the
 //! §3.3.2 time split) are pure functions of the session inputs and the
 //! period's drift state, and the simulator's session states recur: the
-//! request predictor and the job-time EWMA are integer-quantised and
-//! contracting, so after a short transient the same `(gpu fraction,
-//! predicted requests)` pairs are presented over and over. The cache
-//! memoises the search results keyed on the **exact bit pattern** of the
-//! inputs — a hit replays the identical decision, so cached and uncached
-//! runs are bit-for-bit indistinguishable (enforced by the golden
-//! determinism tests).
+//! request predictor is integer-quantised, space division rounds the
+//! concurrent-session count `s` up to an integer and every allocation is
+//! snapped onto the centi-GPU grid ([`crate::space`]), so gpu fractions
+//! are drawn from a small recurrent set and after a short transient the
+//! same `(gpu fraction, predicted requests)` pairs are presented over
+//! and over. The cache memoises the search results keyed
+//! on the **exact bit pattern** of the inputs — a hit replays the
+//! identical decision, so cached and uncached runs are bit-for-bit
+//! indistinguishable (enforced by the golden determinism tests).
 //!
 //! Invalidation: per-app demand curves and joint batch/space choices
 //! depend only on the immutable [`AppSpec`](adainf_apps::AppSpec)s, so
@@ -25,6 +27,17 @@ use std::collections::BTreeMap;
 /// gpu.to_bits())`. Keying on the exact bits (not a quantisation) is what
 /// keeps cache hits decision-identical.
 type FracKey = (usize, u32, u64);
+
+/// Per-table entry bound. The tables memoise pure functions, so evicting
+/// never changes a decision — only costs a recompute — and the bound
+/// keeps a pathological key stream (e.g. non-recurrent float fractions)
+/// from growing memory without limit. Eviction pops the smallest key,
+/// which is deterministic for a deterministic key stream. The cap sits
+/// well above the working set a quantised key stream produces (a few
+/// thousand `(app, requests, fraction)` combinations): a cap *below* the
+/// working set does not merely degrade — `pop_first` keeps deleting the
+/// lowest-sorted live keys, so those keys miss on every lookup forever.
+const TABLE_CAP: usize = 65_536;
 
 /// Memoisation tables for the per-session scheduling searches.
 #[derive(Clone, Debug, Default)]
@@ -45,6 +58,8 @@ pub struct DecisionCache {
     pub hits: u64,
     /// Lookups that ran the underlying search.
     pub misses: u64,
+    /// Entries dropped to keep a table within [`TABLE_CAP`].
+    pub evictions: u64,
 }
 
 impl DecisionCache {
@@ -64,6 +79,12 @@ impl DecisionCache {
 
     /// Memoised SLO-demand fraction for `(app, requests)`.
     pub fn demand(&mut self, app: usize, requests: u32, compute: impl FnOnce() -> f64) -> f64 {
+        if self.demand.len() >= TABLE_CAP
+            && !self.demand.contains_key(&(app, requests))
+            && self.demand.pop_first().is_some()
+        {
+            self.evictions += 1;
+        }
         match self.demand.entry((app, requests)) {
             std::collections::btree_map::Entry::Occupied(e) => {
                 self.hits += 1;
@@ -83,6 +104,12 @@ impl DecisionCache {
         requests: u32,
         compute: impl FnOnce() -> (f64, u32),
     ) -> (f64, u32) {
+        if self.joint.len() >= TABLE_CAP
+            && !self.joint.contains_key(&(app, requests))
+            && self.joint.pop_first().is_some()
+        {
+            self.evictions += 1;
+        }
         match self.joint.entry((app, requests)) {
             std::collections::btree_map::Entry::Occupied(e) => {
                 self.hits += 1;
@@ -121,7 +148,14 @@ impl DecisionCache {
         compute: impl FnOnce() -> u32,
     ) -> u32 {
         Self::check_key(gpu);
-        match self.batch_at.entry((app, requests, gpu.to_bits())) {
+        let key = (app, requests, gpu.to_bits());
+        if self.batch_at.len() >= TABLE_CAP
+            && !self.batch_at.contains_key(&key)
+            && self.batch_at.pop_first().is_some()
+        {
+            self.evictions += 1;
+        }
+        match self.batch_at.entry(key) {
             std::collections::btree_map::Entry::Occupied(e) => {
                 self.hits += 1;
                 *e.get()
@@ -144,7 +178,16 @@ impl DecisionCache {
         compute: impl FnOnce() -> TimePlan,
     ) -> &TimePlan {
         Self::check_key(gpu);
-        match self.plan.entry((app, requests, gpu.to_bits())) {
+        let key = (app, requests, gpu.to_bits());
+        // Evict *before* taking the entry: the returned reference must
+        // point at the entry just looked up, never at one being dropped.
+        if self.plan.len() >= TABLE_CAP
+            && !self.plan.contains_key(&key)
+            && self.plan.pop_first().is_some()
+        {
+            self.evictions += 1;
+        }
+        match self.plan.entry(key) {
             std::collections::btree_map::Entry::Occupied(e) => {
                 self.hits += 1;
                 e.into_mut()
@@ -216,6 +259,22 @@ mod tests {
     fn strict_rejects_nan_keys() {
         let mut cache = DecisionCache::default();
         cache.batch_at(0, 16, f64::NAN, || 8);
+    }
+
+    #[test]
+    fn tables_bounded_by_cap() {
+        let mut cache = DecisionCache::default();
+        let n = TABLE_CAP as u32 + 10;
+        for r in 0..n {
+            cache.demand(0, r, || f64::from(r));
+        }
+        assert_eq!(cache.evictions, 10);
+        // The latest entry survives and replays its cached value.
+        assert_eq!(cache.demand(0, n - 1, || unreachable!()), f64::from(n - 1));
+        // Re-presenting an existing key at cap must not evict anything.
+        let before = cache.evictions;
+        cache.demand(0, n - 1, || unreachable!());
+        assert_eq!(cache.evictions, before);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct AdaInfConfig {
     /// depend on this flag (enforced by the golden determinism tests,
     /// which run with it off).
     pub decision_cache: bool,
+    /// Share drift-detection artifacts (feature matrices, PCA fits,
+    /// deviation rankings, correctness prefix-sums) across consumers
+    /// within a period instead of rebuilding per lookup. PCA randomness
+    /// is keyed by `(period, node)` child streams, so cached and rebuilt
+    /// artifacts are bit-identical — purely a performance switch.
+    pub drift_artifact_cache: bool,
 
     // ---- Ablation switches (§5.2) ----
     /// `false` = AdaInf/I: spare time divided evenly instead of by impact.
@@ -77,6 +83,7 @@ impl Default for AdaInfConfig {
             cpu_offload_threshold: 0,
             joint_batch_space: false,
             decision_cache: true,
+            drift_artifact_cache: true,
             use_impact_degrees: true,
             update_dag_each_period: true,
             slo_aware_space: true,

@@ -1,0 +1,629 @@
+//! Per-period drift artifact cache.
+//!
+//! The §3.2 detection loop and the §3.3.2 retraining-order selection
+//! consume the same expensive artifacts — feature matrices, a PCA fit of
+//! the old training data, projections, per-class means and deviation
+//! rankings — and historically recomputed them per consumer: twice inside
+//! `detect_drift` (pool + reference rankings each refit the PCA) and a
+//! third time in `retrain_order` for every impacted node. This module
+//! computes each node's artifacts **exactly once per period** and shares
+//! them.
+//!
+//! Determinism: PCA-fit randomness is routed through a child [`Prng`]
+//! stream derived from the scheduler's root stream via [`Prng::split`],
+//! keyed by `(period, node)`. A cached fit is therefore draw-identical to
+//! a refit — the artifacts are a pure function of `(pool generation,
+//! model version, root stream)`, which is exactly the cache key.
+//!
+//! Invalidation: entries are keyed by `(app, node)` and tagged with
+//! `(pool generation, model version)`. The pool generation is the
+//! runtime's period counter — `advance_period` wholesale-replaces pools
+//! and reference sets, so any period bump invalidates. The model version
+//! bumps on every retraining slice and parameter load, so a retrained
+//! model never serves stale rankings.
+
+use adainf_apps::AppRuntime;
+use adainf_driftgen::LabeledSamples;
+use adainf_nn::metrics::cosine_distance;
+use adainf_nn::pca::{Pca, PcaScratch};
+use adainf_nn::Matrix;
+use adainf_simcore::Prng;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+/// Stream label base for the per-`(period, node)` PCA child streams.
+/// Mixed (not added) so labels cannot collide with other subsystem
+/// streams split from the same root.
+const PCA_STREAM: u64 = 0xD21F_7000;
+
+/// Everything the drift pipeline needs about one `(app, node)` in one
+/// period, computed in a single pass over the data.
+#[derive(Clone, Debug, Default)]
+pub struct DriftArtifacts {
+    /// Pool-sample indices by descending deviation from the old training
+    /// data (§3.2) — a permutation of `0..pool.len()`.
+    pub deviation: Vec<usize>,
+    /// The §3.3.2 retraining consumption order: the deviation ranking's
+    /// most-deviating half interleaved 1:1 with the remainder.
+    pub retrain: Vec<usize>,
+    /// Held-out reference samples ranked by the same deviation metric.
+    pub ref_order: Vec<usize>,
+    /// `pool_prefix[i]` = correct predictions (at the full cut) among the
+    /// first `i` samples of `deviation`, with `pool_prefix[0] == 0`.
+    /// Prefix accuracy is `prefix[take] / take`, bit-equal to
+    /// `accuracy_on` over the same prefix subset. Extended **lazily** via
+    /// [`Self::pool_prefix_at`] to the deepest `take` any consumer has
+    /// asked for — the `S`-growth loop usually stops well short of the
+    /// full pool, so samples past its deepest cut are never predicted.
+    pub pool_prefix: Vec<u32>,
+    /// Same lazily-extended prefix-sum over `ref_order` for the held-out
+    /// reference set (see [`Self::ref_prefix_at`]).
+    pub ref_prefix: Vec<u32>,
+}
+
+/// Extends a correctness prefix-sum to cover `take` samples of `order`,
+/// predicting only the not-yet-covered chunk. The head forward pass is
+/// row-independent, so predicting `order[done..take]` as its own batch
+/// yields the same per-sample predictions as any other batching — the
+/// running count is bit-equal to a full-set pass however it is grown.
+fn extend_prefix(
+    prefix: &mut Vec<u32>,
+    rt: &AppRuntime,
+    node: usize,
+    samples: &LabeledSamples,
+    order: &[usize],
+    take: usize,
+) {
+    if prefix.len() > take || samples.is_empty() {
+        return;
+    }
+    let model = &rt.models[node];
+    let done = prefix.len() - 1;
+    let chunk = samples.select(&order[done..take]);
+    let preds = model.predict(&chunk.inputs, model.profile.full_cut());
+    let mut acc = prefix[done];
+    for (p, label) in preds.iter().zip(&chunk.labels) {
+        acc += u32::from(p == label);
+        prefix.push(acc);
+    }
+}
+
+impl DriftArtifacts {
+    /// Correct-count over the first `take` samples of the deviation
+    /// ranking, extending the lazy prefix-sum as far as needed.
+    pub fn pool_prefix_at(&mut self, rt: &AppRuntime, node: usize, take: usize) -> u32 {
+        let samples = rt.pools[node].samples();
+        extend_prefix(
+            &mut self.pool_prefix,
+            rt,
+            node,
+            samples,
+            &self.deviation,
+            take,
+        );
+        self.pool_prefix[take]
+    }
+
+    /// Correct-count over the first `take` samples of the reference
+    /// ranking, extending the lazy prefix-sum as far as needed.
+    pub fn ref_prefix_at(&mut self, rt: &AppRuntime, node: usize, take: usize) -> u32 {
+        let samples = rt.ref_samples(node);
+        extend_prefix(
+            &mut self.ref_prefix,
+            rt,
+            node,
+            samples,
+            &self.ref_order,
+            take,
+        );
+        self.ref_prefix[take]
+    }
+
+    /// `strict-invariants` structural checks: the orders are permutations
+    /// of their sample ranges and the prefix-sums are monotone running
+    /// counts no longer than their sample range — the properties the
+    /// S-growth loop and the pool consumer rely on without re-validating
+    /// per lookup.
+    fn check_invariants(&self, pool_len: usize, ref_len: usize) {
+        let is_permutation = |order: &[usize], n: usize| {
+            let mut seen = vec![false; n];
+            order.len() == n
+                && order
+                    .iter()
+                    .all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+        };
+        assert!(
+            is_permutation(&self.deviation, pool_len),
+            "strict-invariants: deviation order is not a permutation of the pool"
+        );
+        assert!(
+            is_permutation(&self.retrain, pool_len),
+            "strict-invariants: retrain order is not a permutation of the pool"
+        );
+        assert!(
+            is_permutation(&self.ref_order, ref_len),
+            "strict-invariants: reference order is not a permutation of the held-out set"
+        );
+        let is_prefix_count = |prefix: &[u32], n: usize| {
+            !prefix.is_empty()
+                && prefix.len() <= n + 1
+                && prefix[0] == 0
+                && prefix.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1)
+        };
+        assert!(
+            is_prefix_count(&self.pool_prefix, pool_len),
+            "strict-invariants: pool prefix-sum is not a running correctness count"
+        );
+        assert!(
+            is_prefix_count(&self.ref_prefix, ref_len),
+            "strict-invariants: reference prefix-sum is not a running correctness count"
+        );
+    }
+}
+
+/// Reusable buffers for [`build_artifacts`]: PCA scratch, projection
+/// outputs and the scored index list. One instance serves every node of
+/// every app — artifacts are built one at a time.
+#[derive(Clone, Debug, Default)]
+pub struct DetectScratch {
+    pca: PcaScratch,
+    projected: Matrix,
+    scored: Vec<(usize, f64)>,
+}
+
+/// Mean projected old-feature vector per class, accumulated in one
+/// ascending pass over the labels. Classes unseen in the old data fall
+/// back to the global mean. Bit-identical to a per-class rescan: each
+/// class's sum still adds rows in ascending row order.
+pub fn class_means(projected: &Matrix, labels: &[usize], classes: usize) -> Vec<Vec<f32>> {
+    let k = projected.cols();
+    let global_mean = projected.col_means();
+    let mut sums = vec![0.0f32; classes * k];
+    let mut counts = vec![0usize; classes];
+    for (i, &label) in labels.iter().enumerate() {
+        counts[label] += 1;
+        for (m, v) in sums[label * k..(label + 1) * k]
+            .iter_mut()
+            .zip(projected.row(i))
+        {
+            *m += v;
+        }
+    }
+    (0..classes)
+        .map(|c| {
+            if counts[c] == 0 {
+                global_mean.clone()
+            } else {
+                sums[c * k..(c + 1) * k]
+                    .iter()
+                    .map(|&s| s / counts[c] as f32)
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+/// Ranks `new` samples by descending cosine deviation of their projected
+/// feature vectors from the per-class means of the old data.
+fn rank(
+    rt: &AppRuntime,
+    node: usize,
+    new: &LabeledSamples,
+    pca: &Pca,
+    means: &[Vec<f32>],
+    scratch: &mut DetectScratch,
+) -> Vec<usize> {
+    if new.is_empty() {
+        return Vec::new();
+    }
+    let features = rt.models[node].features(new);
+    pca.transform_into(&features, &mut scratch.pca, &mut scratch.projected);
+    let DetectScratch {
+        projected, scored, ..
+    } = scratch;
+    scored.clear();
+    scored.extend((0..new.len()).map(|i| {
+        let mean = &means[new.labels[i]];
+        (i, cosine_distance(projected.row(i), mean))
+    }));
+    // total_cmp would reorder signed zeros and perturb the golden metrics, so:
+    // simlint: allow(no-unwrap-in-lib) — cosine distances of unit-normalised rows are finite by construction
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite distances"));
+    scored.iter().map(|&(i, _)| i).collect()
+}
+
+/// Interleaves the deviation ranking into the §3.3.2 retraining order:
+/// most-deviating half 1:1 with the remainder, odd tail appended.
+fn interleave(ranked: &[usize]) -> Vec<usize> {
+    let n = ranked.len();
+    let half = n / 2;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..half {
+        out.push(ranked[i]);
+        if half + i < n {
+            out.push(ranked[half + i]);
+        }
+    }
+    if n % 2 == 1 {
+        out.push(ranked[n - 1]);
+    }
+    out
+}
+
+/// The deviation rankings of the pool and (optionally) the held-out
+/// reference set, from one feature pass over the old data and **one**
+/// shared PCA fit. The pool ranking never depends on whether the
+/// reference ranking is computed — the keyed PCA stream is consumed
+/// identically either way.
+fn rankings(
+    rt: &AppRuntime,
+    node: usize,
+    pca_components: usize,
+    root: &Prng,
+    scratch: &mut DetectScratch,
+    with_ref: bool,
+) -> (Vec<usize>, Vec<usize>) {
+    let old = rt.old_samples(node);
+    let pool = rt.pools[node].samples();
+    let held_out = rt.ref_samples(node);
+    if old.is_empty() {
+        // No old data to deviate from: identity orders.
+        return ((0..pool.len()).collect(), (0..held_out.len()).collect());
+    }
+    let model = &rt.models[node];
+    let old_features = model.features(old);
+    let mut rng = root.split(PCA_STREAM ^ (rt.period() << 16) ^ node as u64);
+    let pca = Pca::fit_with_scratch(&old_features, pca_components, &mut rng, &mut scratch.pca);
+    pca.transform_into(&old_features, &mut scratch.pca, &mut scratch.projected);
+    let means = class_means(&scratch.projected, &old.labels, model.classes());
+    let deviation = rank(rt, node, pool, &pca, &means, scratch);
+    let ref_order = if with_ref {
+        rank(rt, node, held_out, &pca, &means, scratch)
+    } else {
+        Vec::new()
+    };
+    (deviation, ref_order)
+}
+
+/// The pool deviation ranking alone — the cheap subset of
+/// [`build_artifacts`] for consumers that never read the prefix-sums or
+/// the reference order (standalone order queries outside the scheduler's
+/// cached detection path). Bit-equal to `build_artifacts(..).deviation`,
+/// at none of the cost of the two full-set correctness passes.
+pub fn build_deviation_ranking(
+    rt: &AppRuntime,
+    node: usize,
+    pca_components: usize,
+    root: &Prng,
+    scratch: &mut DetectScratch,
+) -> Vec<usize> {
+    rankings(rt, node, pca_components, root, scratch, false).0
+}
+
+/// The §3.3.2 retraining order alone — [`build_deviation_ranking`]'s
+/// interleave, bit-equal to `build_artifacts(..).retrain`.
+pub fn build_retrain_order(
+    rt: &AppRuntime,
+    node: usize,
+    pca_components: usize,
+    root: &Prng,
+    scratch: &mut DetectScratch,
+) -> Vec<usize> {
+    interleave(&build_deviation_ranking(
+        rt,
+        node,
+        pca_components,
+        root,
+        scratch,
+    ))
+}
+
+/// Builds one node's ranked artifact set — both deviation rankings and
+/// the retraining interleave — with the correctness prefix-sums left at
+/// their seed (`[0]`), to be extended lazily by
+/// [`DriftArtifacts::pool_prefix_at`] / [`DriftArtifacts::ref_prefix_at`]
+/// as deep as the detection loop actually reads.
+///
+/// PCA randomness comes from `root.split(...)` keyed by the runtime's
+/// period and the node, never from an advancing caller stream — so the
+/// result is reproducible from the key alone.
+fn build_ranked(
+    rt: &AppRuntime,
+    node: usize,
+    pca_components: usize,
+    root: &Prng,
+    scratch: &mut DetectScratch,
+) -> DriftArtifacts {
+    let (deviation, ref_order) = rankings(rt, node, pca_components, root, scratch, true);
+    let retrain = interleave(&deviation);
+    let artifacts = DriftArtifacts {
+        deviation,
+        retrain,
+        ref_order,
+        pool_prefix: vec![0],
+        ref_prefix: vec![0],
+    };
+    if cfg!(feature = "strict-invariants") {
+        artifacts.check_invariants(rt.pools[node].samples().len(), rt.ref_samples(node).len());
+    }
+    artifacts
+}
+
+/// Builds one node's complete artifact set: one feature pass over the old
+/// data, **one** shared PCA fit, one projection per sample set, one
+/// deviation ranking each for the pool and the held-out reference, the
+/// retraining interleave and both correctness prefix-sums extended to
+/// their full sample sets.
+pub fn build_artifacts(
+    rt: &AppRuntime,
+    node: usize,
+    pca_components: usize,
+    root: &Prng,
+    scratch: &mut DetectScratch,
+) -> DriftArtifacts {
+    let mut artifacts = build_ranked(rt, node, pca_components, root, scratch);
+    let pool_len = artifacts.deviation.len();
+    let ref_len = artifacts.ref_order.len();
+    if pool_len > 0 {
+        artifacts.pool_prefix_at(rt, node, pool_len);
+    }
+    if ref_len > 0 {
+        artifacts.ref_prefix_at(rt, node, ref_len);
+    }
+    artifacts
+}
+
+/// The per-period artifact cache. Entries are keyed by `(app, node)` and
+/// tagged with `(pool generation, model version)`; a tag mismatch
+/// rebuilds in place, so the map never outgrows `apps × nodes` entries.
+#[derive(Clone, Debug)]
+pub struct DriftCache {
+    entries: BTreeMap<(usize, usize), ((u64, u64), DriftArtifacts)>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that rebuilt the artifacts.
+    pub misses: u64,
+    enabled: bool,
+    scratch: DetectScratch,
+}
+
+impl DriftCache {
+    /// Creates the cache. With `enabled == false` every lookup rebuilds —
+    /// bit-identical results either way (the build is a pure function of
+    /// the key and root stream), so the flag is purely a perf switch.
+    pub fn new(enabled: bool) -> Self {
+        DriftCache {
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            enabled,
+            scratch: DetectScratch::default(),
+        }
+    }
+
+    /// The artifacts of `(app, node)` for the runtime's current period
+    /// and model version, building them on first use.
+    pub fn artifacts(
+        &mut self,
+        app: usize,
+        rt: &AppRuntime,
+        node: usize,
+        pca_components: usize,
+        root: &Prng,
+    ) -> &DriftArtifacts {
+        let key = (rt.period(), rt.models[node].version());
+        let scratch = &mut self.scratch;
+        match self.entries.entry((app, node)) {
+            Entry::Occupied(mut e) => {
+                if self.enabled && e.get().0 == key {
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                    let art = build_ranked(rt, node, pca_components, root, scratch);
+                    *e.get_mut() = (key, art);
+                }
+                &e.into_mut().1
+            }
+            Entry::Vacant(v) => {
+                self.misses += 1;
+                let art = build_ranked(rt, node, pca_components, root, scratch);
+                &v.insert((key, art)).1
+            }
+        }
+    }
+
+    /// Shared view of an already-built entry; `None` when
+    /// [`Self::artifacts`] has not run for `(app, node)` yet.
+    pub fn get(&self, app: usize, node: usize) -> Option<&DriftArtifacts> {
+        self.entries.get(&(app, node)).map(|(_, art)| art)
+    }
+
+    /// Mutable view of an already-built entry, for lazily extending its
+    /// prefix-sums in place (the extension is value-preserving, so a
+    /// later hit replays exactly what a fresh build would produce).
+    pub fn get_mut(&mut self, app: usize, node: usize) -> Option<&mut DriftArtifacts> {
+        self.entries.get_mut(&(app, node)).map(|(_, art)| art)
+    }
+}
+
+impl Default for DriftCache {
+    fn default() -> Self {
+        DriftCache::new(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adainf_apps::catalog;
+    use adainf_driftgen::workload::ArrivalConfig;
+
+    fn drifted_runtime(periods: usize) -> AppRuntime {
+        let root = Prng::new(314);
+        let mut rt = AppRuntime::new(
+            catalog::video_surveillance(0),
+            ArrivalConfig::default(),
+            400,
+            &root,
+        );
+        for _ in 0..periods {
+            rt.advance_period();
+        }
+        rt
+    }
+
+    /// The old `rank_against` computed class means with one full rescan
+    /// of the labels per class; the single-pass accumulator must produce
+    /// bit-identical means.
+    #[test]
+    fn single_pass_class_means_match_per_class_rescan() {
+        let mut rng = Prng::new(21);
+        let n = 200;
+        let k = 6;
+        let classes = 5;
+        let data: Vec<f32> = (0..n * k).map(|_| rng.gauss() as f32).collect();
+        let projected = Matrix::from_slice(n, k, &data);
+        // Class 4 deliberately unseen: must fall back to the global mean.
+        let labels: Vec<usize> = (0..n).map(|i| i % (classes - 1)).collect();
+
+        // Reference: the old per-class rescan, verbatim.
+        let global_mean = projected.col_means();
+        let mut expect = vec![global_mean.clone(); classes];
+        let mut counts = vec![0usize; classes];
+        for &label in &labels {
+            counts[label] += 1;
+        }
+        for (c, out) in expect.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                continue;
+            }
+            let mut mean = vec![0.0f32; k];
+            for (i, &label) in labels.iter().enumerate() {
+                if label == c {
+                    for (m, v) in mean.iter_mut().zip(projected.row(i)) {
+                        *m += v;
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= counts[c] as f32;
+            }
+            *out = mean;
+        }
+
+        let got = class_means(&projected, &labels, classes);
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            let gb: Vec<u32> = g.iter().map(|x| x.to_bits()).collect();
+            let eb: Vec<u32> = e.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(gb, eb, "class means diverge");
+        }
+    }
+
+    #[test]
+    fn prefix_sums_match_accuracy_on_prefix_subsets() {
+        let rt = drifted_runtime(2);
+        let root = Prng::new(99);
+        let mut scratch = DetectScratch::default();
+        for node in 0..rt.spec.nodes.len() {
+            let art = build_artifacts(&rt, node, 8, &root, &mut scratch);
+            let pool = rt.pools[node].samples();
+            let model = &rt.models[node];
+            assert_eq!(art.pool_prefix.len(), pool.len() + 1);
+            for take in [1, pool.len() / 3, pool.len()] {
+                if take == 0 {
+                    continue;
+                }
+                let subset = pool.select(&art.deviation[..take]);
+                let direct = model.accuracy_on(&subset, model.profile.full_cut());
+                let via_prefix = art.pool_prefix[take] as f64 / take as f64;
+                assert_eq!(
+                    direct.to_bits(),
+                    via_prefix.to_bits(),
+                    "node {node} take {take}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_artifacts_bit_equal_fresh_build() {
+        let rt = drifted_runtime(2);
+        let root = Prng::new(7);
+        let mut cache = DriftCache::new(true);
+        let first = cache.artifacts(0, &rt, 1, 8, &root).clone();
+        assert_eq!(cache.misses, 1);
+        let hit = cache.artifacts(0, &rt, 1, 8, &root).clone();
+        assert_eq!(cache.hits, 1);
+        // A hit must replay the build exactly, and an independent fresh
+        // build from the same root stream must agree bit-for-bit.
+        let fresh = build_artifacts(&rt, 1, 8, &root, &mut DetectScratch::default());
+        assert_eq!(first.deviation, fresh.deviation);
+        assert_eq!(first.retrain, fresh.retrain);
+        assert_eq!(first.ref_order, fresh.ref_order);
+        assert_eq!(hit.deviation, fresh.deviation);
+        // Lazily extending the cached entry — in two steps, through a
+        // hit — must land on the same prefix-sums as the eager build.
+        let art = cache.get_mut(0, 1).expect("entry present");
+        let half = fresh.deviation.len() / 2;
+        art.pool_prefix_at(&rt, 1, half);
+        art.pool_prefix_at(&rt, 1, fresh.deviation.len());
+        art.ref_prefix_at(&rt, 1, fresh.ref_order.len());
+        assert_eq!(art.pool_prefix, fresh.pool_prefix);
+        assert_eq!(art.ref_prefix, fresh.ref_prefix);
+    }
+
+    #[test]
+    fn cache_invalidates_on_period_and_version_bumps() {
+        let mut rt = drifted_runtime(1);
+        let root = Prng::new(7);
+        let mut cache = DriftCache::new(true);
+        cache.artifacts(0, &rt, 1, 8, &root);
+        cache.artifacts(0, &rt, 1, 8, &root);
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        // Pool-generation bump: new period → rebuild.
+        rt.advance_period();
+        cache.artifacts(0, &rt, 1, 8, &root);
+        assert_eq!((cache.hits, cache.misses), (1, 2));
+        // Model-version bump: retraining → rebuild.
+        let slice = rt.pools[1].samples().clone();
+        rt.models[1].train_slice(&slice, 1);
+        cache.artifacts(0, &rt, 1, 8, &root);
+        assert_eq!((cache.hits, cache.misses), (1, 3));
+        // Stable key afterwards: hit again.
+        cache.artifacts(0, &rt, 1, 8, &root);
+        assert_eq!((cache.hits, cache.misses), (2, 3));
+    }
+
+    /// The lean standalone builders must reproduce the full build's
+    /// orders bit-for-bit — skipping the reference ranking and the two
+    /// correctness passes must not perturb the keyed PCA stream.
+    #[test]
+    fn lean_builders_match_full_artifacts() {
+        let rt = drifted_runtime(2);
+        let root = Prng::new(7);
+        let mut scratch = DetectScratch::default();
+        for node in 0..rt.spec.nodes.len() {
+            let full = build_artifacts(&rt, node, 8, &root, &mut scratch);
+            let deviation = build_deviation_ranking(&rt, node, 8, &root, &mut scratch);
+            let retrain = build_retrain_order(&rt, node, 8, &root, &mut scratch);
+            assert_eq!(deviation, full.deviation, "node {node}");
+            assert_eq!(retrain, full.retrain, "node {node}");
+        }
+    }
+
+    #[test]
+    fn disabled_cache_rebuilds_but_matches() {
+        let rt = drifted_runtime(1);
+        let root = Prng::new(7);
+        let mut on = DriftCache::new(true);
+        let mut off = DriftCache::new(false);
+        let a = on.artifacts(0, &rt, 1, 8, &root).clone();
+        let b = off.artifacts(0, &rt, 1, 8, &root).clone();
+        off.artifacts(0, &rt, 1, 8, &root);
+        assert_eq!(off.hits, 0, "disabled cache must never hit");
+        assert_eq!(off.misses, 2);
+        assert_eq!(a.deviation, b.deviation);
+        assert_eq!(a.retrain, b.retrain);
+    }
+}

@@ -19,11 +19,22 @@
 //! The same deviation ranking orders the retraining pool: AdaInf "selects
 //! the samples that deviate the most from the old training samples"
 //! (§3.3.2).
+//!
+//! All expensive artifacts (features, the PCA fit, projections, rankings
+//! and the per-sample correctness prefix-sums the `S`-growth loop reads)
+//! come from [`crate::drift_cache`], which computes them once per
+//! `(app, node, period, model version)` and shares them with the
+//! scheduler's retraining-order consumer. The `S`-loop itself is an exact
+//! rewrite of the old per-round `accuracy_on` calls: the accuracy of a
+//! deviation-ranked prefix is a running correct-count divided by the
+//! prefix length, so `prefix[take] / take` is bit-equal to re-running the
+//! model on the cloned prefix subset. The prefix-sums extend lazily, so
+//! each ranked sample is predicted at most once — and only if the loop's
+//! growing `S` actually reaches it before stabilising.
 
 use crate::config::AdaInfConfig;
+use crate::drift_cache::{build_deviation_ranking, build_retrain_order, DetectScratch, DriftCache};
 use adainf_apps::AppRuntime;
-use adainf_nn::metrics::cosine_distance;
-use adainf_nn::pca::Pca;
 use adainf_simcore::Prng;
 
 /// Detection outcome for one application.
@@ -39,15 +50,16 @@ pub struct DriftReport {
 
 /// Ranks the new-pool samples of `node` by descending deviation from the
 /// old training data; returns sample indices, most deviating first.
+///
+/// `root` is only used as a split root for the keyed per-`(period, node)`
+/// PCA stream — it is never advanced, so repeated calls are reproducible.
 pub fn deviation_order(
     rt: &AppRuntime,
     node: usize,
     pca_components: usize,
-    rng: &mut Prng,
+    root: &Prng,
 ) -> Vec<usize> {
-    let old = rt.old_samples(node);
-    let new = rt.pools[node].samples();
-    rank_against(rt, node, old, new, pca_components, rng)
+    build_deviation_ranking(rt, node, pca_components, root, &mut DetectScratch::default())
 }
 
 /// The retraining consumption order (§3.3.2): deviation-prioritised but
@@ -61,103 +73,36 @@ pub fn retrain_order(
     rt: &AppRuntime,
     node: usize,
     pca_components: usize,
-    rng: &mut Prng,
+    root: &Prng,
 ) -> Vec<usize> {
-    let ranked = deviation_order(rt, node, pca_components, rng);
-    let n = ranked.len();
-    let half = n / 2;
-    let mut out = Vec::with_capacity(n);
-    for i in 0..half {
-        out.push(ranked[i]);
-        if half + i < n {
-            out.push(ranked[half + i]);
-        }
-    }
-    if n % 2 == 1 {
-        out.push(ranked[n - 1]);
-    }
-    out
-}
-
-/// Ranks `new` samples by descending cosine deviation of their (PCA'd)
-/// feature vectors from the per-class mean feature vectors of `old`.
-fn rank_against(
-    rt: &AppRuntime,
-    node: usize,
-    old: &adainf_driftgen::LabeledSamples,
-    new: &adainf_driftgen::LabeledSamples,
-    pca_components: usize,
-    rng: &mut Prng,
-) -> Vec<usize> {
-    if new.is_empty() || old.is_empty() {
-        return (0..new.len()).collect();
-    }
-    let model = &rt.models[node];
-    let old_features = model.features(old);
-    let pca = Pca::fit(&old_features, pca_components, rng);
-    let old_projected = pca.transform(&old_features);
-    // Mean old feature vector per class (golden labels are known for the
-    // old training data), falling back to the global mean for classes
-    // unseen in the old data. Comparing a new sample against the old
-    // mean of *its own class* makes the deviation ranking sensitive to
-    // per-class appearance drift.
-    let k = pca.k();
-    let classes = rt.models[node].classes();
-    let global_mean = old_projected.col_means();
-    let mut class_means = vec![global_mean.clone(); classes];
-    let mut counts = vec![0usize; classes];
-    for &label in &old.labels {
-        counts[label] += 1;
-    }
-    for c in 0..classes {
-        if counts[c] == 0 {
-            continue;
-        }
-        let mut mean = vec![0.0f32; k];
-        for (i, &label) in old.labels.iter().enumerate() {
-            if label == c {
-                for (m, v) in mean.iter_mut().zip(old_projected.row(i)) {
-                    *m += v;
-                }
-            }
-        }
-        for m in &mut mean {
-            *m /= counts[c] as f32;
-        }
-        class_means[c] = mean;
-    }
-    let new_projected = pca.transform(&model.features(new));
-    let mut scored: Vec<(usize, f64)> = (0..new.len())
-        .map(|i| {
-            let mean = &class_means[new.labels[i]];
-            (i, cosine_distance(new_projected.row(i), mean))
-        })
-        .collect();
-    // total_cmp would reorder signed zeros and perturb the golden metrics, so:
-    // simlint: allow(no-unwrap-in-lib) — cosine distances of unit-normalised rows are finite by construction
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite distances"));
-    scored.into_iter().map(|(i, _)| i).collect()
+    build_retrain_order(rt, node, pca_components, root, &mut DetectScratch::default())
 }
 
 /// Runs the §3.2 detection loop over all nodes of one application.
-pub fn detect_drift(rt: &mut AppRuntime, config: &AdaInfConfig, rng: &mut Prng) -> DriftReport {
-    let n_nodes = rt.spec.nodes.len();
-    // Deviation ranking per node, computed once (the ranking does not
-    // depend on S; S only selects the prefix).
-    let orders: Vec<Vec<usize>> = (0..n_nodes)
-        .map(|node| deviation_order(rt, node, config.pca_components, rng))
-        .collect();
+pub fn detect_drift(rt: &AppRuntime, config: &AdaInfConfig, root: &Prng) -> DriftReport {
+    let mut cache = DriftCache::new(true);
+    detect_drift_cached(rt, 0, config, &mut cache, root)
+}
 
-    // Reference ranking: the held-out old-distribution samples' deviant
-    // tail. Their accuracy under the current model is the drift-free
-    // counterfactual `I_m` (held-out, so free of memorisation bias).
-    let ref_orders: Vec<Vec<usize>> = (0..n_nodes)
-        .map(|node| {
-            let old = rt.old_samples(node).clone();
-            let held_out = rt.ref_samples(node).clone();
-            rank_against(rt, node, &old, &held_out, config.pca_components, rng)
-        })
-        .collect();
+/// [`detect_drift`] reading node artifacts through a shared
+/// [`DriftCache`], so a scheduler that also consumes retraining orders
+/// pays for each node's feature/PCA/ranking work once per period.
+pub fn detect_drift_cached(
+    rt: &AppRuntime,
+    app: usize,
+    config: &AdaInfConfig,
+    cache: &mut DriftCache,
+    root: &Prng,
+) -> DriftReport {
+    let n_nodes = rt.spec.nodes.len();
+    // Materialise every node's rankings up front (they do not depend on
+    // S; S only selects a ranked prefix). The correctness prefix-sums
+    // extend lazily below, only as deep as the loop's largest `take` —
+    // detection usually stabilises long before S reaches 100 %, so most
+    // pool samples are never predicted at all.
+    for node in 0..n_nodes {
+        cache.artifacts(app, rt, node, config.pca_components, root);
+    }
 
     let mut report = DriftReport::default();
     let mut s = config.s_init;
@@ -167,23 +112,27 @@ pub fn detect_drift(rt: &mut AppRuntime, config: &AdaInfConfig, rng: &mut Prng) 
 
     while stable < config.stable_rounds && s <= 1.0 {
         let mut set = Vec::new();
-        for node in 0..n_nodes {
-            let pool = rt.pools[node].samples();
-            let held_out = rt.ref_samples(node);
-            if pool.is_empty() || held_out.is_empty() {
+        for (node, impact) in impacts.iter_mut().enumerate() {
+            let art = cache
+                .get_mut(app, node)
+                // simlint: allow(no-unwrap-in-lib) — every (app, node) entry was populated by the loop above
+                .expect("artifact populated above");
+            let pool_len = art.deviation.len();
+            let ref_len = art.ref_order.len();
+            if pool_len == 0 || ref_len == 0 {
                 continue;
             }
-            let take = ((s * pool.len() as f64).ceil() as usize).clamp(1, pool.len());
-            let subset = pool.select(&orders[node][..take]);
-            let ref_take = ((s * held_out.len() as f64).ceil() as usize)
-                .clamp(1, held_out.len());
-            let reference = held_out.select(&ref_orders[node][..ref_take]);
-            let model = &rt.models[node];
-            let i_prime = model.accuracy_on(&subset, model.profile.full_cut());
-            let i_m = model.accuracy_on(&reference, model.profile.full_cut());
+            let take = ((s * pool_len as f64).ceil() as usize).clamp(1, pool_len);
+            let ref_take = ((s * ref_len as f64).ceil() as usize).clamp(1, ref_len);
+            // Prefix accuracy: correct count over the deviation-ranked
+            // prefix divided by its length — bit-equal to `accuracy_on`
+            // over the same cloned subset (the head forward pass is
+            // row-independent).
+            let i_prime = art.pool_prefix_at(rt, node, take) as f64 / take as f64;
+            let i_m = art.ref_prefix_at(rt, node, ref_take) as f64 / ref_take as f64;
             if i_m - i_prime > config.detect_margin {
                 set.push(node);
-                impacts[node] = i_m - i_prime;
+                *impact = i_m - i_prime;
             }
         }
         report.trace.push((s, set.clone()));
@@ -225,9 +174,9 @@ mod tests {
 
     #[test]
     fn detects_drifted_models_not_stable_ones() {
-        let mut rt = drifted_runtime(3);
-        let mut rng = Prng::new(1);
-        let report = detect_drift(&mut rt, &AdaInfConfig::default(), &mut rng);
+        let rt = drifted_runtime(3);
+        let rng = Prng::new(1);
+        let report = detect_drift(&rt, &AdaInfConfig::default(), &rng);
         let nodes: Vec<usize> = report.impacted.iter().map(|(n, _)| *n).collect();
         // Node 0 (object detection) is stable and must not be flagged;
         // node 1 (vehicle, severe drift) must be.
@@ -261,8 +210,8 @@ mod tests {
             for _ in 0..2 {
                 rt.advance_period();
             }
-            let mut rng = Prng::new(seed);
-            let report = detect_drift(&mut rt, &AdaInfConfig::default(), &mut rng);
+            let rng = Prng::new(seed);
+            let report = detect_drift(&rt, &AdaInfConfig::default(), &rng);
             for (node, _) in &report.impacted {
                 match node {
                     0 => stable_hits += 1,
@@ -279,15 +228,18 @@ mod tests {
             severe_hits >= moderate_hits,
             "severe {severe_hits} vs moderate {moderate_hits}"
         );
-        assert!(severe_hits >= 3, "severe detections too rare: {severe_hits}");
+        assert!(
+            severe_hits >= 3,
+            "severe detections too rare: {severe_hits}"
+        );
     }
 
     #[test]
     fn detection_stops_after_stable_rounds() {
-        let mut rt = drifted_runtime(2);
-        let mut rng = Prng::new(2);
+        let rt = drifted_runtime(2);
+        let rng = Prng::new(2);
         let config = AdaInfConfig::default();
-        let report = detect_drift(&mut rt, &config, &mut rng);
+        let report = detect_drift(&rt, &config, &rng);
         // The trace's last `stable_rounds` entries carry the same set.
         let k = config.stable_rounds;
         assert!(report.trace.len() >= k);
@@ -300,16 +252,16 @@ mod tests {
     #[test]
     fn matches_full_sample_ground_truth() {
         // Table 2: the iterative process must agree with S = 100 %.
-        let mut rt = drifted_runtime(3);
-        let mut rng = Prng::new(3);
+        let rt = drifted_runtime(3);
+        let rng = Prng::new(3);
         let config = AdaInfConfig::default();
-        let report = detect_drift(&mut rt, &config, &mut rng);
+        let report = detect_drift(&rt, &config, &rng);
         let full_cfg = AdaInfConfig {
             s_init: 1.0,
             ..config
         };
-        let mut rng2 = Prng::new(3);
-        let full = detect_drift(&mut rt, &full_cfg, &mut rng2);
+        let rng2 = Prng::new(3);
+        let full = detect_drift(&rt, &full_cfg, &rng2);
         let a: Vec<usize> = report.impacted.iter().map(|(n, _)| *n).collect();
         let b: Vec<usize> = full.impacted.iter().map(|(n, _)| *n).collect();
         assert_eq!(a, b, "iterative {a:?} vs full-sample {b:?}");
@@ -318,10 +270,27 @@ mod tests {
     #[test]
     fn deviation_order_is_permutation() {
         let rt = drifted_runtime(1);
-        let mut rng = Prng::new(4);
-        let order = deviation_order(&rt, 1, 8, &mut rng);
+        let rng = Prng::new(4);
+        let order = deviation_order(&rt, 1, 8, &rng);
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..order.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cached_and_uncached_detection_agree() {
+        let rt = drifted_runtime(3);
+        let root = Prng::new(5);
+        let config = AdaInfConfig::default();
+        let plain = detect_drift(&rt, &config, &root);
+        let mut cache = DriftCache::new(true);
+        let first = detect_drift_cached(&rt, 0, &config, &mut cache, &root);
+        let again = detect_drift_cached(&rt, 0, &config, &mut cache, &root);
+        assert!(cache.hits > 0, "second detection must hit the cache");
+        for (a, b) in [(&plain, &first), (&first, &again)] {
+            assert_eq!(a.impacted, b.impacted);
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.final_s.to_bits(), b.final_s.to_bits());
+        }
     }
 }

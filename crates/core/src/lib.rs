@@ -14,6 +14,11 @@
 //! * [`drift_detect`] — §3.2: PCA + cosine-distance selection of the most
 //!   deviating `S` samples, iterative growth of `S` until the detected
 //!   set stabilises, and per-model impact degrees.
+//! * [`drift_cache`] — the per-period drift artifact cache: features,
+//!   PCA fits, deviation rankings and correctness prefix-sums computed
+//!   once per `(app, node, period, model version)` and shared between
+//!   detection and retraining-order selection, with PCA randomness on
+//!   keyed child streams so caching is bit-transparent.
 //! * [`ridag`] — §3.2: the retraining-inference DAG of one application.
 //! * [`profiler`] — the stand-in for AdaInf's offline profiling: batch ×
 //!   structure latency tables at full GPU and communication-inflation
@@ -42,6 +47,7 @@
 pub mod cache;
 pub mod config;
 pub mod degrade;
+pub mod drift_cache;
 pub mod drift_detect;
 pub mod incremental;
 pub mod plan;

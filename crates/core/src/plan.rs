@@ -155,10 +155,17 @@ pub trait Scheduler {
     /// requests > 0.
     fn on_session(&mut self, ctx: &SessionCtx<'_>) -> Vec<JobPlan>;
 
-    /// `(hits, misses)` of the scheduler's decision cache, if it has
-    /// one. Reported by the bench harness alongside wall-clock numbers.
-    fn cache_stats(&self) -> (u64, u64) {
-        (0, 0)
+    /// `(hits, misses, evictions)` of the scheduler's decision cache, if
+    /// it has one. Reported by the bench harness alongside wall-clock
+    /// numbers.
+    fn cache_stats(&self) -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
+
+    /// Wall-clock nanoseconds the scheduler spent in drift detection and
+    /// retraining-order selection across the run, if it tracks them.
+    fn drift_overhead_ns(&self) -> u128 {
+        0
     }
 }
 

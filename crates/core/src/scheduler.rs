@@ -13,7 +13,8 @@
 
 use crate::cache::DecisionCache;
 use crate::config::AdaInfConfig;
-use crate::drift_detect::{detect_drift, retrain_order, DriftReport};
+use crate::drift_cache::DriftCache;
+use crate::drift_detect::{detect_drift_cached, DriftReport};
 use crate::incremental::RetrainProgress;
 use crate::plan::{AppPeriodPlan, JobPlan, PeriodPlan, Scheduler, SessionCtx};
 use crate::profiler::Profiler;
@@ -61,8 +62,15 @@ pub struct AdaInfScheduler {
     /// Cumulative wall-clock spent in session scheduling, and calls.
     sched_wall_ns: u128,
     sched_calls: u64,
+    /// Cumulative wall-clock spent in period-boundary drift work
+    /// (detection + retraining-order selection).
+    drift_wall_ns: u128,
     /// Exact memoisation of the per-session searches (see [`crate::cache`]).
     cache: DecisionCache,
+    /// Per-period drift artifact cache (see [`crate::drift_cache`]):
+    /// detection and retraining-order selection share one feature/PCA/
+    /// ranking computation per `(app, node, period, model version)`.
+    drift: DriftCache,
 }
 
 impl AdaInfScheduler {
@@ -76,6 +84,7 @@ impl AdaInfScheduler {
     ) -> Self {
         let specs = specs.into();
         let n = specs.len();
+        let drift = DriftCache::new(config.drift_artifact_cache);
         AdaInfScheduler {
             config,
             profiler: profiler.into(),
@@ -86,7 +95,9 @@ impl AdaInfScheduler {
             progress: RetrainProgress::new(),
             sched_wall_ns: 0,
             sched_calls: 0,
+            drift_wall_ns: 0,
             cache: DecisionCache::default(),
+            drift,
         }
     }
 
@@ -103,9 +114,14 @@ impl AdaInfScheduler {
         std::time::Duration::from_nanos((self.sched_wall_ns / self.sched_calls as u128) as u64)
     }
 
-    /// `(hits, misses)` of the decision cache so far.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        (self.cache.hits, self.cache.misses)
+    /// `(hits, misses, evictions)` of the decision cache so far.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        (self.cache.hits, self.cache.misses, self.cache.evictions)
+    }
+
+    /// `(hits, misses)` of the drift artifact cache so far.
+    pub fn drift_cache_stats(&self) -> (u64, u64) {
+        (self.drift.hits, self.drift.misses)
     }
 
     fn refresh_accuracy_tables(&mut self, apps: &mut [AppRuntime]) {
@@ -132,9 +148,7 @@ impl AdaInfScheduler {
             let acc = |node: usize, cut: usize| -> f64 {
                 acc_table
                     .get(node)
-                    .and_then(|entries| {
-                        entries.iter().find(|(c, _)| *c == cut).map(|(_, a)| *a)
-                    })
+                    .and_then(|entries| entries.iter().find(|(c, _)| *c == cut).map(|(_, a)| *a))
                     .unwrap_or(0.0)
             };
             let cuts = select_structures(
@@ -154,8 +168,12 @@ impl Scheduler for AdaInfScheduler {
         self.config.variant_name().to_string()
     }
 
-    fn cache_stats(&self) -> (u64, u64) {
-        (self.cache.hits, self.cache.misses)
+    fn cache_stats(&self) -> (u64, u64, u64) {
+        (self.cache.hits, self.cache.misses, self.cache.evictions)
+    }
+
+    fn drift_overhead_ns(&self) -> u128 {
+        self.drift_wall_ns
     }
 
     fn on_period_start(
@@ -167,31 +185,47 @@ impl Scheduler for AdaInfScheduler {
         let wall = WallTimer::start();
         self.last_reports.clear();
 
-        for (a, rt) in apps.iter_mut().enumerate() {
-            // AdaInf/U builds each application's DAG once — frozen at the
-            // first period in which drift is detected at all.
-            let update_dag =
-                self.config.update_dag_each_period || !self.states[a].frozen;
-            if update_dag {
-                let report = detect_drift(rt, &self.config, &mut self.rng);
-                self.states[a].ridag = RiDag::build(&rt.spec, &report);
-                if !report.impacted.is_empty() {
-                    self.states[a].frozen = true;
+        let drift_wall = WallTimer::start();
+        {
+            // Disjoint field borrows: the drift cache and rng are used
+            // while states and reports are written.
+            let AdaInfScheduler {
+                config,
+                rng,
+                states,
+                last_reports,
+                drift,
+                ..
+            } = self;
+            for (a, rt) in apps.iter_mut().enumerate() {
+                // AdaInf/U builds each application's DAG once — frozen at
+                // the first period in which drift is detected at all.
+                let update_dag = config.update_dag_each_period || !states[a].frozen;
+                if update_dag {
+                    let report = detect_drift_cached(rt, a, config, drift, rng);
+                    states[a].ridag = RiDag::build(&rt.spec, &report);
+                    if !report.impacted.is_empty() {
+                        states[a].frozen = true;
+                    }
+                    last_reports.push(report);
                 }
-                self.last_reports.push(report);
-            }
-            // Order every retraining pool by deviation so retraining
-            // consumes the most-deviating samples first (§3.3.2). This
-            // applies even for /U — sample selection is not part of the
-            // DAG-update ablation.
-            for node in 0..rt.spec.nodes.len() {
-                if self.states[a].ridag.retrains(node) {
-                    let order =
-                        retrain_order(rt, node, self.config.pca_components, &mut self.rng);
-                    rt.pools[node].set_order(&order);
+                // Order every retraining pool by deviation so retraining
+                // consumes the most-deviating samples first (§3.3.2). This
+                // applies even for /U — sample selection is not part of
+                // the DAG-update ablation. The order comes from the same
+                // cached artifacts the detector just built.
+                for node in 0..rt.spec.nodes.len() {
+                    if states[a].ridag.retrains(node) {
+                        let order = drift
+                            .artifacts(a, rt, node, config.pca_components, rng)
+                            .retrain
+                            .clone();
+                        rt.pools[node].set_order(&order);
+                    }
                 }
             }
         }
+        self.drift_wall_ns += drift_wall.elapsed_nanos();
         self.refresh_accuracy_tables(apps);
         // Time plans are valid only for this period's DAGs and accuracy
         // snapshots — drop the stale ones.
@@ -255,8 +289,7 @@ impl Scheduler for AdaInfScheduler {
                 .iter()
                 .filter(|j| {
                     j.requests <= self.config.cpu_offload_threshold
-                        && self.profiler.latency.cpu_inference(&j.cost, j.requests)
-                            <= j.slo
+                        && self.profiler.latency.cpu_inference(&j.cost, j.requests) <= j.slo
                 })
                 .map(|j| j.app)
                 .collect()
@@ -304,7 +337,12 @@ impl Scheduler for AdaInfScheduler {
         if wanted > ctx.free_gpus && wanted > 0.0 {
             let k = (ctx.free_gpus / wanted).max(0.0);
             for d in &mut division {
-                d.gpu = (d.gpu * k).max(1e-3);
+                // Floor onto the centi-GPU allocation grid: the scale
+                // factor is a fresh f64 every session (free space moves
+                // with in-flight releases), and an unsnapped product
+                // would hand the plan cache one novel key per session.
+                // Flooring keeps the squeezed sum within the free space.
+                d.gpu = ((d.gpu * k * 100.0).floor() / 100.0).max(1e-3);
             }
         }
 
@@ -422,12 +460,7 @@ mod tests {
             .cloned()
             .map(|s| AppRuntime::new(s, ArrivalConfig::default(), 400, &root))
             .collect();
-        let sched = AdaInfScheduler::new(
-            AdaInfConfig::default(),
-            Profiler::default(),
-            specs,
-            7,
-        );
+        let sched = AdaInfScheduler::new(AdaInfConfig::default(), Profiler::default(), specs, 7);
         (sched, apps, GpuSpec::with_gpus(4))
     }
 
@@ -593,12 +626,8 @@ mod tests {
     fn variant_u_keeps_first_dag() {
         let (_, mut apps, server) = setup(1);
         let specs = vec![apps[0].spec.clone()];
-        let mut sched = AdaInfScheduler::new(
-            AdaInfConfig::variant_u(),
-            Profiler::default(),
-            specs,
-            7,
-        );
+        let mut sched =
+            AdaInfScheduler::new(AdaInfConfig::variant_u(), Profiler::default(), specs, 7);
         for _ in 0..2 {
             apps[0].advance_period();
         }

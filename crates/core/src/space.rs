@@ -1,8 +1,9 @@
 //! GPU space division among applications (§3.3.1).
 //!
-//! With `T_a` the average time to complete a job, `s = T_a / 5 ms`
-//! sessions run concurrently, so each session receives `G / s` of the
-//! edge server's `G` GPUs. Within a session, each job gets space
+//! With `T_a` the average time to complete a job, `s = ⌈T_a / 5 ms⌉`
+//! sessions run concurrently (partial sessions cannot overlap), so each
+//! session receives `G / s` of the edge server's `G` GPUs. Within a
+//! session, each job gets space
 //! proportional to its demand: the fraction `G^i` that the fitted
 //! regression says is needed to pull the job's best full-GPU worst-case
 //! latency `L^i_w` down to its SLO `L^i_s`. The batch size is then
@@ -37,6 +38,19 @@ pub struct JobSpace {
     pub gpu: f64,
     /// Batch size re-adjusted for the allocated space.
     pub batch: u32,
+}
+
+/// Snaps a GPU fraction onto the scheduler's allocation grid: whole
+/// centi-GPUs (integer percent, the granularity real MPS-style sharing
+/// exposes via active-thread percentages), with a one-milli-GPU floor so
+/// a starved job keeps the minimal allocation the server ledger can
+/// represent. Finer precision in the scheduler's promise is unobservable
+/// downstream — the edge server accounts in-flight space in integer
+/// milli-GPUs — and snapping keeps the derived fractions on a small
+/// recurrent set of bit patterns, which the decision cache's exact-key
+/// tables rely on to ever see a repeat.
+pub fn quantize_space(gpu: f64) -> f64 {
+    ((gpu * 100.0).round() / 100.0).max(1e-3)
 }
 
 /// The SLO-derived demand fraction of one job (§3.3.1): the fraction the
@@ -95,7 +109,14 @@ pub fn divide_space_cached(
     profiler: &Profiler,
     cache: &mut DecisionCache,
 ) -> Vec<JobSpace> {
-    divide_space_inner(jobs, total_gpus, avg_job_time, slo_aware, profiler, Some(cache))
+    divide_space_inner(
+        jobs,
+        total_gpus,
+        avg_job_time,
+        slo_aware,
+        profiler,
+        Some(cache),
+    )
 }
 
 fn divide_space_inner(
@@ -109,8 +130,15 @@ fn divide_space_inner(
     if jobs.is_empty() {
         return Vec::new();
     }
-    // Concurrent sessions: s = T_a / 5 ms, at least 1.
-    let s = (avg_job_time.as_millis_f64() / SESSION.as_millis_f64()).max(1.0);
+    // Concurrent sessions: s = T_a / 5 ms, rounded up to a whole
+    // session, at least 1. Partial sessions cannot overlap, and the
+    // integer count keeps the derived gpu fractions on a small
+    // recurrent set — the EWMA `T_a` varies continuously, and feeding
+    // it through unrounded would make every period's fractions novel
+    // bit patterns, defeating the decision cache's exact-key tables.
+    let s = (avg_job_time.as_millis_f64() / SESSION.as_millis_f64())
+        .ceil()
+        .max(1.0);
     let session_pool = total_gpus / s;
 
     // Demand per job: fraction needed to meet the SLO from the best
@@ -132,7 +160,7 @@ fn divide_space_inner(
     jobs.iter()
         .zip(&demands)
         .map(|(j, d)| {
-            let gpu = (session_pool * d / total_demand).clamp(1e-3, 1.0);
+            let gpu = quantize_space((session_pool * d / total_demand).clamp(1e-3, 1.0));
             let batch = match cache.as_deref_mut() {
                 Some(c) => c.batch_at(j.app, j.requests, gpu, || {
                     profiler.optimal_batch_at(&j.cost, j.requests, gpu).0
@@ -183,7 +211,10 @@ fn divide_space_joint_inner(
     if jobs.is_empty() {
         return Vec::new();
     }
-    let s = (avg_job_time.as_millis_f64() / SESSION.as_millis_f64()).max(1.0);
+    // Whole concurrent sessions, as in `divide_space_inner`.
+    let s = (avg_job_time.as_millis_f64() / SESSION.as_millis_f64())
+        .ceil()
+        .max(1.0);
     let session_pool = total_gpus / s;
 
     let choices: Vec<(f64, u32)> = jobs
@@ -199,7 +230,7 @@ fn divide_space_joint_inner(
         .zip(&choices)
         .map(|(j, &(g, batch))| JobSpace {
             app: j.app,
-            gpu: (session_pool * g / total_demand).clamp(1e-3, 1.0),
+            gpu: quantize_space((session_pool * g / total_demand).clamp(1e-3, 1.0)),
             batch,
         })
         .collect()
@@ -274,6 +305,31 @@ mod tests {
         let tight = divide_space(&jobs, 1.0, SimDuration::from_millis(500), true, &p);
         assert!(roomy[0].batch >= tight[0].batch);
         assert!(tight[0].batch >= 1);
+    }
+
+    #[test]
+    fn allocations_sit_on_the_centi_gpu_grid() {
+        let p = Profiler::default();
+        let jobs = vec![
+            demand(0, 37, 1.5e8, 400),
+            demand(1, 53, 3.0e7, 450),
+            demand(2, 11, 6.0e7, 500),
+        ];
+        let div = divide_space(&jobs, 4.0, SimDuration::from_millis(137), true, &p);
+        let joint = divide_space_joint(&jobs, 4.0, SimDuration::from_millis(137), &p);
+        for d in div.iter().chain(&joint) {
+            let centi = d.gpu * 100.0;
+            assert!(
+                (centi - centi.round()).abs() < 1e-9 || d.gpu == 1e-3,
+                "app {} gpu {} is off-grid",
+                d.app,
+                d.gpu
+            );
+            assert!(d.gpu >= 1e-3 && d.gpu <= 1.0);
+        }
+        // The starvation floor itself is representable.
+        assert_eq!(quantize_space(0.0001), 1e-3);
+        assert_eq!(quantize_space(0.234567), 0.23);
     }
 
     #[test]

@@ -93,8 +93,8 @@ fn main() {
         for _ in 0..3 {
             rt.advance_period();
         }
-        let mut rng = Prng::new(seed ^ 0xD);
-        let report = detect_drift(&mut rt, &AdaInfConfig::default(), &mut rng);
+        let rng = Prng::new(seed ^ 0xD);
+        let report = detect_drift(&rt, &AdaInfConfig::default(), &rng);
         for (node, _) in report.impacted {
             hits[node] += 1;
         }

@@ -994,8 +994,8 @@ pub fn table2(_scale: Scale) -> String {
     // Advance to the second drifted period, as in the paper's table.
     rt.advance_period();
     rt.advance_period();
-    let mut rng = Prng::new(7);
-    let report = detect_drift(&mut rt, &AdaInfConfig::default(), &mut rng);
+    let rng = Prng::new(7);
+    let report = detect_drift(&rt, &AdaInfConfig::default(), &rng);
     let names = ["Object", "Person", "Vehicle"];
     let mut rows: Vec<Vec<String>> = report
         .trace
@@ -1024,8 +1024,8 @@ pub fn table2(_scale: Scale) -> String {
         s_init: 1.0,
         ..AdaInfConfig::default()
     };
-    let mut rng2 = Prng::new(7);
-    let full = detect_drift(&mut rt, &full_cfg, &mut rng2);
+    let rng2 = Prng::new(7);
+    let full = detect_drift(&rt, &full_cfg, &rng2);
     let full_set: Vec<&str> = full
         .impacted
         .iter()

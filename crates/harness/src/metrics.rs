@@ -2,9 +2,7 @@
 
 use crate::json;
 use adainf_simcore::time::PERIOD;
-use adainf_simcore::{
-    Histogram, OnlineStats, PeriodSeries, SimDuration, SimTime, WindowSeries,
-};
+use adainf_simcore::{Histogram, OnlineStats, PeriodSeries, SimDuration, SimTime, WindowSeries};
 
 /// Everything measured during one run. All series are indexed by
 /// simulated time; the paper's figures are projections of these streams.
@@ -53,6 +51,11 @@ pub struct RunMetrics {
     pub cache_hits: u64,
     /// Scheduler decision-cache misses over the run.
     pub cache_misses: u64,
+    /// Scheduler decision-cache evictions (capacity bound) over the run.
+    pub cache_evictions: u64,
+    /// Wall-clock nanoseconds the scheduler spent on drift detection and
+    /// retraining-order selection across the run (Table 1, "drift").
+    pub drift_detect_ns: u64,
     /// Total requests served.
     pub total_requests: u64,
     /// Retraining samples consumed per (app, node), cumulative.
@@ -123,6 +126,8 @@ impl RunMetrics {
             edge_cloud_bytes: 0,
             cache_hits: 0,
             cache_misses: 0,
+            cache_evictions: 0,
+            drift_detect_ns: 0,
             total_requests: 0,
             retrain_samples: node_counts.iter().map(|&n| vec![0; n]).collect(),
             per_app_latency: node_counts
@@ -199,6 +204,10 @@ impl RunMetrics {
             period_overhead_ms: self.period_overhead.mean(),
             sched_overhead_ms: self.sched_overhead.mean(),
             cache_hit_rate: self.cache_hit_rate(),
+            cache_evictions: self.cache_evictions,
+            drift_detect_us: self.drift_detect_ns as f64
+                / 1e3
+                / self.period_overhead.count().max(1) as f64,
             shed_requests: self.shed_requests,
             degraded_jobs: self.degraded_jobs,
             fault_sessions: self.fault_sessions,
@@ -309,6 +318,10 @@ pub struct Summary {
     pub sched_overhead_ms: f64,
     /// Scheduler decision-cache hit rate (0 when no cache ran).
     pub cache_hit_rate: f64,
+    /// Scheduler decision-cache evictions (0 when no cache ran).
+    pub cache_evictions: u64,
+    /// Mean drift-detection + retraining-order wall time per period (µs).
+    pub drift_detect_us: f64,
     /// Requests shed by admission control (0 without faults).
     pub shed_requests: u64,
     /// Jobs served degraded after reload give-up (0 without faults).
@@ -338,6 +351,8 @@ impl Summary {
             ("period_overhead_ms", json::num(self.period_overhead_ms)),
             ("sched_overhead_ms", json::num(self.sched_overhead_ms)),
             ("cache_hit_rate", json::num(self.cache_hit_rate)),
+            ("cache_evictions", json::int(self.cache_evictions)),
+            ("drift_detect_us", json::num(self.drift_detect_us)),
             ("shed_requests", json::int(self.shed_requests)),
             ("degraded_jobs", json::int(self.degraded_jobs)),
             ("fault_sessions", json::int(self.fault_sessions)),
@@ -378,13 +393,7 @@ mod tests {
         assert!(json.contains("\"accuracy_per_period\": [0.9]"));
         assert!(json.contains("\"retrain_gpu_seconds\": [2.5]"));
         // Balanced braces/brackets — a cheap well-formedness check.
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count(),
-        );
-        assert_eq!(
-            json.matches('[').count(),
-            json.matches(']').count(),
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count(),);
+        assert_eq!(json.matches('[').count(), json.matches(']').count(),);
     }
 }

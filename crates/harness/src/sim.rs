@@ -1057,9 +1057,11 @@ impl Simulation {
     }
 
     fn finalize(&mut self) {
-        let (hits, misses) = self.scheduler.cache_stats();
+        let (hits, misses, evictions) = self.scheduler.cache_stats();
         self.metrics.cache_hits = hits;
         self.metrics.cache_misses = misses;
+        self.metrics.cache_evictions = evictions;
+        self.metrics.drift_detect_ns = self.scheduler.drift_overhead_ns() as u64;
         if let Some(chaos) = &self.chaos {
             self.metrics.storm_evictions = chaos.mem.stats().pressure_evictions;
         }

@@ -9,7 +9,7 @@
 
 use crate::profile::ModelProfile;
 use adainf_driftgen::LabeledSamples;
-use adainf_nn::{EarlyExitMlp, Matrix, MlpConfig, TrainBatch};
+use adainf_nn::{EarlyExitMlp, Matrix, MlpConfig};
 use adainf_simcore::Prng;
 
 /// Feature dimensionality shared by all task streams and heads.
@@ -28,6 +28,17 @@ pub struct TrainableModel {
     version: u64,
     /// Samples consumed by retraining since construction.
     trained_samples: u64,
+    /// Reusable mini-batch buffer for [`Self::train_slice`].
+    slice_scratch: SliceScratch,
+}
+
+/// Scratch buffer reused by every [`TrainableModel::train_slice`]
+/// mini-batch: the input rows of the current chunk are copied here
+/// (one contiguous slab) instead of allocating an index vector and a
+/// cloned sample set per 32-sample SGD step.
+#[derive(Clone, Debug, Default)]
+struct SliceScratch {
+    inputs: Matrix,
 }
 
 impl TrainableModel {
@@ -47,6 +58,7 @@ impl TrainableModel {
             head: EarlyExitMlp::new(config, rng),
             version: 0,
             trained_samples: 0,
+            slice_scratch: SliceScratch::default(),
         }
     }
 
@@ -70,9 +82,7 @@ impl TrainableModel {
     /// shallow head exit.
     pub fn head_exit_for_cut(&self, cut: usize) -> usize {
         let frac = (cut + 1) as f64 / self.profile.num_layers() as f64;
-        ((frac * HEAD_EXITS as f64).ceil() as usize)
-            .clamp(1, HEAD_EXITS)
-            - 1
+        ((frac * HEAD_EXITS as f64).ceil() as usize).clamp(1, HEAD_EXITS) - 1
     }
 
     /// Accuracy of the structure cut at `cut` on a sample batch.
@@ -80,8 +90,11 @@ impl TrainableModel {
         if samples.is_empty() {
             return 0.0;
         }
-        self.head
-            .accuracy(&samples.inputs, &samples.labels, self.head_exit_for_cut(cut))
+        self.head.accuracy(
+            &samples.inputs,
+            &samples.labels,
+            self.head_exit_for_cut(cut),
+        )
     }
 
     /// Predicted class per sample at the given cut.
@@ -103,13 +116,15 @@ impl TrainableModel {
             let mut start = 0;
             while start < n {
                 let end = (start + Self::SGD_BATCH).min(n);
-                let idx: Vec<usize> = (start..end).collect();
-                let chunk = samples.select(&idx);
-                let batch = TrainBatch {
-                    inputs: chunk.inputs,
-                    labels: chunk.labels,
-                };
-                self.head.train_batch(&batch);
+                // Chunks are contiguous row ranges: copy the slab into the
+                // reusable scratch matrix and borrow the label slice —
+                // zero allocations per mini-batch once warm, and the SGD
+                // math is unchanged (identical rows, identical order).
+                self.slice_scratch
+                    .inputs
+                    .copy_rows_from(&samples.inputs, start, end);
+                self.head
+                    .train_batch_parts(&self.slice_scratch.inputs, &samples.labels[start..end]);
                 start = end;
             }
         }

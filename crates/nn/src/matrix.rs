@@ -113,6 +113,22 @@ impl Matrix {
         self.data.extend_from_slice(&src.data);
     }
 
+    /// Reshapes this matrix to the row range `r0..r1` of `src` and copies
+    /// those rows — one contiguous slab in row-major layout — reusing the
+    /// existing allocation when capacity permits. The chunked-slice
+    /// primitive behind zero-alloc mini-batch training.
+    ///
+    /// # Panics
+    /// Panics when `r0 > r1` or `r1 > src.rows()`.
+    pub fn copy_rows_from(&mut self, src: &Matrix, r0: usize, r1: usize) {
+        assert!(r0 <= r1 && r1 <= src.rows, "row range out of bounds");
+        self.rows = r1 - r0;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data
+            .extend_from_slice(&src.data[r0 * src.cols..r1 * src.cols]);
+    }
+
     /// `self × other`.
     ///
     /// # Panics
@@ -207,8 +223,12 @@ impl Matrix {
         // each output row is loaded/stored once per four steps.
         let mut r = 0;
         while r + 4 <= m {
-            let (a0, a1, a2, a3) =
-                (self.row(r), self.row(r + 1), self.row(r + 2), self.row(r + 3));
+            let (a0, a1, a2, a3) = (
+                self.row(r),
+                self.row(r + 1),
+                self.row(r + 2),
+                self.row(r + 3),
+            );
             let (b0, b1, b2, b3) = (
                 other.row(r),
                 other.row(r + 1),
@@ -313,7 +333,9 @@ impl Matrix {
                 out_row[j + 7] = s7;
                 j += 8;
             }
-            for (o, brow) in out_row[j..].iter_mut().zip(other.data[j * w..].chunks_exact(w))
+            for (o, brow) in out_row[j..]
+                .iter_mut()
+                .zip(other.data[j * w..].chunks_exact(w))
             {
                 let mut acc = 0.0;
                 for (a, b) in arow.iter().zip(brow) {
@@ -529,6 +551,19 @@ mod tests {
     }
 
     #[test]
+    fn copy_rows_from_extracts_contiguous_chunks() {
+        let src = Matrix::from_slice(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut dst = Matrix::zeros(9, 9);
+        dst.copy_rows_from(&src, 1, 3);
+        assert_eq!(dst, Matrix::from_slice(2, 2, &[3.0, 4.0, 5.0, 6.0]));
+        // Empty range and full range both work; allocation is reused.
+        dst.copy_rows_from(&src, 2, 2);
+        assert_eq!(dst.rows(), 0);
+        dst.copy_rows_from(&src, 0, 4);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
     fn softmax_rows_normalises() {
         let m = Matrix::from_slice(2, 3, &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
         let s = m.softmax_rows();
@@ -573,8 +608,12 @@ mod tests {
         let mut rng = Prng::new(11);
         let m = Matrix::he_init(64, 64, &mut rng);
         let mean: f32 = m.data().iter().sum::<f32>() / 4096.0;
-        let var: f32 =
-            m.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4096.0;
+        let var: f32 = m
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 4096.0;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 2.0 / 64.0).abs() < 0.01, "var {var}");
     }

@@ -210,11 +210,7 @@ impl EarlyExitMlp {
             return 0.0;
         }
         let preds = self.predict(inputs, exit);
-        let correct = preds
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         correct as f64 / labels.len() as f64
     }
 
@@ -232,11 +228,7 @@ impl EarlyExitMlp {
     /// This is the *dynamic* early-exit mode of the SPINN citation; the
     /// AdaInf scheduler instead picks a *static* exit per structure
     /// choice (§3.3.2). Both modes share the same heads.
-    pub fn predict_adaptive(
-        &self,
-        inputs: &Matrix,
-        confidence: f32,
-    ) -> Vec<(usize, usize)> {
+    pub fn predict_adaptive(&self, inputs: &Matrix, confidence: f32) -> Vec<(usize, usize)> {
         let n = inputs.rows();
         let mut out: Vec<Option<(usize, usize)>> = vec![None; n];
         let mut x = inputs.clone();
@@ -262,8 +254,9 @@ impl EarlyExitMlp {
                 break;
             }
         }
-        // simlint: allow(no-unwrap-in-lib) — the final exit runs with `last == true`, which fills every remaining row
-        out.into_iter().map(|o| o.expect("all rows exited")).collect()
+        out.into_iter()
+            .map(|o| o.expect("all rows exited")) // simlint: allow(no-unwrap-in-lib) — the final exit runs with `last == true`, which fills every remaining row
+            .collect()
     }
 
     /// One SGD step on a mini-batch with deep supervision: the loss is the
@@ -274,8 +267,15 @@ impl EarlyExitMlp {
     /// and are reused across calls, so steady-state retraining performs
     /// zero heap allocations once the buffers have warmed up.
     pub fn train_batch(&mut self, batch: &TrainBatch) -> f64 {
-        assert_eq!(batch.inputs.rows(), batch.labels.len());
-        if batch.labels.is_empty() {
+        self.train_batch_parts(&batch.inputs, &batch.labels)
+    }
+
+    /// [`Self::train_batch`] on borrowed inputs and labels, so callers
+    /// slicing mini-batches out of a larger sample set need not assemble
+    /// a [`TrainBatch`] (and clone rows into it) per step.
+    pub fn train_batch_parts(&mut self, inputs: &Matrix, labels: &[usize]) -> f64 {
+        assert_eq!(inputs.rows(), labels.len());
+        if labels.is_empty() {
             return 0.0;
         }
         let update = self.config.update_rule();
@@ -290,11 +290,7 @@ impl EarlyExitMlp {
         // pass.
         for e in 0..n_exits {
             let (earlier, rest) = scratch.activations.split_at_mut(e);
-            let input = if e == 0 {
-                &batch.inputs
-            } else {
-                &earlier[e - 1]
-            };
+            let input = if e == 0 { inputs } else { &earlier[e - 1] };
             self.trunk[e].forward_into(input, &mut scratch.trunk_pre[e], &mut rest[0]);
         }
 
@@ -307,7 +303,7 @@ impl EarlyExitMlp {
             scratch.probs.softmax_rows_inplace();
             // Loss and gradient: dL/dlogits = (p − onehot) · w.
             scratch.grad.copy_from(&scratch.probs);
-            for (r, &label) in batch.labels.iter().enumerate() {
+            for (r, &label) in labels.iter().enumerate() {
                 let p = scratch.probs.get(r, label).max(1e-12);
                 total_loss += -(p as f64).ln() * w as f64;
                 scratch.grad.set(r, label, scratch.grad.get(r, label) - 1.0);
@@ -330,7 +326,7 @@ impl EarlyExitMlp {
         std::mem::swap(&mut scratch.grad, &mut scratch.head_grads[n_exits - 1]);
         for e in (0..n_exits).rev() {
             let input = if e == 0 {
-                &batch.inputs
+                inputs
             } else {
                 &scratch.activations[e - 1]
             };
@@ -349,7 +345,7 @@ impl EarlyExitMlp {
                 scratch.grad.axpy(1.0, &scratch.head_grads[e - 1]);
             }
         }
-        total_loss / batch.labels.len() as f64
+        total_loss / labels.len() as f64
     }
 
     /// Trains on `batch` for `epochs` passes; returns the final loss.

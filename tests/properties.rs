@@ -1,11 +1,14 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants across crates.
 
+use adainf::apps::{catalog, AppRuntime};
+use adainf::core::drift_cache::{build_artifacts, DetectScratch, DriftCache};
 use adainf::core::regression::PowerLawScaler;
+use adainf::driftgen::workload::ArrivalConfig;
+use adainf::driftgen::{RetrainPool, TaskStream, TaskStreamConfig};
 use adainf::gpusim::content::{ContentKey, TaskContext};
 use adainf::gpusim::memory::AccessIntent;
 use adainf::gpusim::{EvictionPolicyKind, GpuMemory, MemoryConfig};
-use adainf::driftgen::{RetrainPool, TaskStream, TaskStreamConfig};
 use adainf::gpusim::{LatencyModel, StructureCost};
 use adainf::nn::metrics::{js_divergence, normalize_hist};
 use adainf::nn::Matrix;
@@ -303,5 +306,114 @@ proptest! {
         for v in batch.inputs.data() {
             prop_assert!(v.abs() < 30.0, "unbounded feature {v}");
         }
+    }
+}
+
+/// Builds a small drifted runtime for the drift-cache properties.
+fn small_drifted_runtime(seed: u64, periods: usize) -> AppRuntime {
+    let root = Prng::new(seed);
+    let mut rt = AppRuntime::new(
+        catalog::video_surveillance(0),
+        ArrivalConfig::default(),
+        200,
+        &root,
+    );
+    for _ in 0..periods {
+        rt.advance_period();
+    }
+    rt
+}
+
+// Drift-artifact-cache properties run far fewer cases: each case builds
+// and trains a full multi-model runtime.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The cached correctness prefix-sums reproduce `accuracy_on` over
+    /// any deviation-ranked prefix bit-for-bit.
+    #[test]
+    fn prefix_sum_accuracy_is_exact(
+        seed in 0u64..500,
+        periods in 1usize..3,
+        take_frac in 0.01f64..1.0,
+    ) {
+        let rt = small_drifted_runtime(seed, periods);
+        let root = Prng::new(seed ^ 0xACC);
+        let mut scratch = DetectScratch::default();
+        for node in 0..rt.spec.nodes.len() {
+            let art = build_artifacts(&rt, node, 8, &root, &mut scratch);
+            let pool = rt.pools[node].samples();
+            prop_assume!(!pool.is_empty());
+            let take = ((take_frac * pool.len() as f64).ceil() as usize)
+                .clamp(1, pool.len());
+            let subset = pool.select(&art.deviation[..take]);
+            let model = &rt.models[node];
+            let direct = model.accuracy_on(&subset, model.profile.full_cut());
+            let via_prefix = art.pool_prefix[take] as f64 / take as f64;
+            prop_assert_eq!(direct.to_bits(), via_prefix.to_bits());
+        }
+    }
+
+    /// A cache hit replays the keyed-stream build bit-for-bit: hit,
+    /// rebuilt and independently fresh artifacts all agree, because the
+    /// PCA stream is keyed by `(period, node)` off an unadvanced root.
+    #[test]
+    fn cached_artifacts_bit_equal_fresh(
+        seed in 0u64..500,
+        periods in 1usize..3,
+    ) {
+        let rt = small_drifted_runtime(seed, periods);
+        let root = Prng::new(seed ^ 0xCAC4E);
+        let mut cache = DriftCache::new(true);
+        let node = 1;
+        let first = cache.artifacts(0, &rt, node, 8, &root).clone();
+        let hit = cache.artifacts(0, &rt, node, 8, &root).clone();
+        prop_assert_eq!(cache.hits, 1);
+        let fresh = build_artifacts(&rt, node, 8, &root, &mut DetectScratch::default());
+        prop_assert_eq!(&first.deviation, &fresh.deviation);
+        prop_assert_eq!(&first.retrain, &fresh.retrain);
+        prop_assert_eq!(&first.ref_order, &fresh.ref_order);
+        prop_assert_eq!(&hit.deviation, &fresh.deviation);
+        // Lazily extending the cached entry's prefix-sums (in chunks)
+        // must land on the eager build's values bit-for-bit.
+        if let Some(art) = cache.get_mut(0, node) {
+            let pool_len = fresh.deviation.len();
+            if pool_len > 0 {
+                art.pool_prefix_at(&rt, node, pool_len / 2 + 1);
+                art.pool_prefix_at(&rt, node, pool_len);
+            }
+            let ref_len = fresh.ref_order.len();
+            if ref_len > 0 {
+                art.ref_prefix_at(&rt, node, ref_len);
+            }
+            prop_assert_eq!(&art.pool_prefix, &fresh.pool_prefix);
+            prop_assert_eq!(&art.ref_prefix, &fresh.ref_prefix);
+        }
+    }
+
+    /// The cache key tracks both staleness sources: a pool-generation
+    /// bump (new period) and a model-version bump (retraining) each
+    /// force a rebuild, and the key is stable otherwise.
+    #[test]
+    fn cache_invalidates_on_generation_and_version(
+        seed in 0u64..500,
+    ) {
+        let mut rt = small_drifted_runtime(seed, 1);
+        let root = Prng::new(seed ^ 0x17A1E);
+        let mut cache = DriftCache::new(true);
+        let node = 1;
+        cache.artifacts(0, &rt, node, 8, &root);
+        cache.artifacts(0, &rt, node, 8, &root);
+        prop_assert_eq!((cache.hits, cache.misses), (1, 1));
+        rt.advance_period();
+        cache.artifacts(0, &rt, node, 8, &root);
+        prop_assert_eq!((cache.hits, cache.misses), (1, 2));
+        let slice = rt.pools[node].samples().clone();
+        prop_assume!(!slice.is_empty());
+        rt.models[node].train_slice(&slice, 1);
+        cache.artifacts(0, &rt, node, 8, &root);
+        prop_assert_eq!((cache.hits, cache.misses), (1, 3));
+        cache.artifacts(0, &rt, node, 8, &root);
+        prop_assert_eq!((cache.hits, cache.misses), (2, 3));
     }
 }
