@@ -14,6 +14,20 @@
 //! behavior-preserving, and these tests also pass with the
 //! `strict-invariants` runtime checks armed
 //! (`cargo test --features strict-invariants --test golden`).
+//!
+//! The AdaInf rows were re-baselined **once** for the drift-pipeline
+//! overhaul (DESIGN.md § Drift artifact cache & determinism). Two kinds
+//! of change fold into the new values: (a) routing PCA randomness
+//! through keyed child streams plus the GEMM covariance changed the
+//! draw schedule — measured alone, mean accuracy shifted by < 1e-3 on
+//! every seed (−0.00061 / +0.00099 / +0.00032); (b) the space-division
+//! decision fixes (whole concurrent sessions, centi-GPU allocation
+//! grid) perturb each allocation by at most half a grid step. The net
+//! mean-accuracy deltas against the seed baselines are
+//! −0.00062 / −0.00029 / −0.00052 — still within 1e-3 per seed — with
+//! finish rates unchanged to the third decimal. Ekya and Scrooge rows
+//! are untouched: neither draws from the rerouted streams nor divides
+//! space through [`adainf::core::space`].
 
 use adainf::core::AdaInfConfig;
 use adainf::harness::sim::{run, Method, RunConfig};
@@ -63,9 +77,9 @@ fn adainf_reproduces_seed_engine() {
     assert_golden(
         || Method::AdaInf(AdaInfConfig::default()),
         &[
-            (11, 1725130, 0.9033870800251864, 0.9994962365591399),
-            (23, 1518908, 0.9096759030301156, 0.9999219775153383),
-            (47, 1392262, 0.9099883764990834, 0.9994159161340305),
+            (11, 1725130, 0.9027703620906504, 0.9992656108706952),
+            (23, 1518908, 0.9093875812740043, 0.9998909458453026),
+            (47, 1392262, 0.9094691361114006, 0.9991235715669184),
         ],
     );
 }
