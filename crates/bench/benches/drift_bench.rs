@@ -16,7 +16,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use adainf_apps::{catalog, AppRuntime};
-use adainf_core::drift_cache::DriftCache;
+use adainf_core::drift_cache::{DetectScratch, DriftCache};
 use adainf_core::drift_detect::{detect_drift, detect_drift_cached, retrain_order};
 use adainf_core::AdaInfConfig;
 use adainf_driftgen::workload::ArrivalConfig;
@@ -65,7 +65,8 @@ fn bench_drift(c: &mut Criterion) {
     });
 
     group.bench_function("retrain_order_single_node", |b| {
-        b.iter(|| black_box(retrain_order(&rt, 1, config.pca_components, &root)))
+        let mut scratch = DetectScratch::default();
+        b.iter(|| black_box(retrain_order(&rt, 1, config.pca_components, &root, &mut scratch)))
     });
 
     group.finish();

@@ -29,6 +29,27 @@ struct TimedRun {
     wall_s: f64,
 }
 
+/// Bench-smoke ceiling on AdaInf's mean per-period drift wall time (µs),
+/// as budgeted for the reference hardware class: ≥ 8 cores feeding the
+/// parallel per-(app, node) artifact fan-out. The default run carries 21
+/// build jobs per period at ~2.2 ms each after the kernel/warm-start/
+/// feature-carry work (~47 ms serialized, ~6 ms across 8 cores) plus
+/// ~7 ms of sequential S-loop detection — comfortably under 18 ms when
+/// the fan-out actually fans out. See EXPERIMENTS.md "drift wall" for
+/// the measured breakdown.
+const DRIFT_DETECT_CEILING_US: f64 = 18_000.0;
+
+/// The ceiling, adjusted for the host actually running the smoke. The
+/// fan-out serializes on hosts with fewer cores than the reference
+/// budget assumes, so the prebuild portion of the budget stretches by
+/// the missing parallelism (8 / cores); the guard still fails on any
+/// host if the *serialized* data path regresses. On ≥ 8 cores this is
+/// exactly [`DRIFT_DETECT_CEILING_US`].
+fn drift_ceiling_us() -> f64 {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    DRIFT_DETECT_CEILING_US * (8.0 / cores as f64).max(1.0)
+}
+
 fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
     let suites = runs.iter().map(|r| {
         let m = &r.metrics;
@@ -47,6 +68,10 @@ fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
             ),
             ("cache_hit_rate", json::num(m.summary().cache_hit_rate)),
             ("drift_detect_us", json::num(m.summary().drift_detect_us)),
+            (
+                "drift_detect_p99_us",
+                json::num(m.summary().drift_detect_p99_us),
+            ),
         ])
     });
     let total_sessions: u64 =
@@ -119,5 +144,21 @@ fn main() {
             "[trajectory] wrote BENCH_sim.json ({total_wall_s:.2}s total wall)"
         ),
         Err(e) => eprintln!("[trajectory] could not write BENCH_sim.json: {e}"),
+    }
+
+    // Bench-smoke guard: the drift data path must stay fast. Mean µs per
+    // period over the whole AdaInf run, compared against the documented
+    // ceiling above (stretched for hosts that serialize the fan-out).
+    let ceiling = drift_ceiling_us();
+    for r in &runs {
+        let s = r.metrics.summary();
+        if s.name == "AdaInf" && s.drift_detect_us > ceiling {
+            eprintln!(
+                "[trajectory] FAIL: AdaInf drift_detect_us {:.0} exceeds the \
+                 {ceiling:.0} µs ceiling",
+                s.drift_detect_us
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -47,6 +47,13 @@ pub struct AdaInfConfig {
     /// is keyed by `(period, node)` child streams, so cached and rebuilt
     /// artifacts are bit-identical — purely a performance switch.
     pub drift_artifact_cache: bool,
+    /// Build the period's drift artifacts concurrently (one scoped-thread
+    /// fan-out over all stale `(app, node)` entries) before the detection
+    /// sweep reads them. Each build is an independent pure function of
+    /// its key, warm-start input and root stream, so the results are
+    /// bit-identical to sequential builds — purely a performance switch.
+    /// Only effective together with [`Self::drift_artifact_cache`].
+    pub drift_parallel_build: bool,
 
     // ---- Ablation switches (§5.2) ----
     /// `false` = AdaInf/I: spare time divided evenly instead of by impact.
@@ -84,6 +91,7 @@ impl Default for AdaInfConfig {
             joint_batch_space: false,
             decision_cache: true,
             drift_artifact_cache: true,
+            drift_parallel_build: true,
             use_impact_degrees: true,
             update_dag_each_period: true,
             slo_aware_space: true,

@@ -26,7 +26,8 @@ use adainf_apps::AppRuntime;
 use adainf_driftgen::LabeledSamples;
 use adainf_nn::metrics::cosine_distance;
 use adainf_nn::pca::{Pca, PcaScratch};
-use adainf_nn::Matrix;
+use adainf_nn::{InferScratch, Matrix};
+use adainf_simcore::parallel::fan_out_indexed;
 use adainf_simcore::Prng;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
@@ -59,6 +60,18 @@ pub struct DriftArtifacts {
     /// Same lazily-extended prefix-sum over `ref_order` for the held-out
     /// reference set (see [`Self::ref_prefix_at`]).
     pub ref_prefix: Vec<u32>,
+    /// The fitted PCA basis (one unit row per component), kept as the
+    /// warm-start seed for the next period's fit of the same
+    /// `(app, node)`. Empty when the node had no old data to fit.
+    pub basis: Matrix,
+    /// The pool's feature matrix at this entry's model version, kept as
+    /// the next period's old-feature matrix: `advance_period` moves the
+    /// pool verbatim into `old_samples`, and features are a pure
+    /// function of (model weights, samples) — so at an unchanged model
+    /// version the carried matrix is bit-identical to recomputing
+    /// `features(old)`. Empty when the node had no old data (the build
+    /// early-returns before any feature pass).
+    pub pool_features: Matrix,
 }
 
 /// Extends a correctness prefix-sum to cover `take` samples of `order`,
@@ -66,24 +79,48 @@ pub struct DriftArtifacts {
 /// row-independent, so predicting `order[done..take]` as its own batch
 /// yields the same per-sample predictions as any other batching — the
 /// running count is bit-equal to a full-set pass however it is grown.
+/// The chunk rows are gathered into `scratch` and predicted through the
+/// scratch-based forward pass: no subset clone, no per-layer
+/// allocations, bit-identical predictions.
+///
+/// When the caller holds the samples' first-layer feature matrix (the
+/// artifact build already computed it for the ranking), `features`
+/// short-circuits the forward pass: the chunk gathers feature rows
+/// instead of input rows and the prediction resumes above the first
+/// trunk layer — bit-identical by the feature-carry identity, one dense
+/// layer cheaper per predicted sample.
+#[allow(clippy::too_many_arguments)]
 fn extend_prefix(
     prefix: &mut Vec<u32>,
     rt: &AppRuntime,
     node: usize,
     samples: &LabeledSamples,
+    features: Option<&Matrix>,
     order: &[usize],
     take: usize,
+    scratch: &mut DetectScratch,
 ) {
     if prefix.len() > take || samples.is_empty() {
         return;
     }
     let model = &rt.models[node];
     let done = prefix.len() - 1;
-    let chunk = samples.select(&order[done..take]);
-    let preds = model.predict(&chunk.inputs, model.profile.full_cut());
+    let cut = model.profile.full_cut();
+    let preds = match features.filter(|f| f.rows() == samples.len()) {
+        Some(f) => {
+            scratch.chunk.gather_rows_from(f, &order[done..take]);
+            model.predict_from_features_with_scratch(&scratch.chunk, cut, &mut scratch.infer)
+        }
+        None => {
+            scratch
+                .chunk
+                .gather_rows_from(&samples.inputs, &order[done..take]);
+            model.predict_with_scratch(&scratch.chunk, cut, &mut scratch.infer)
+        }
+    };
     let mut acc = prefix[done];
-    for (p, label) in preds.iter().zip(&chunk.labels) {
-        acc += u32::from(p == label);
+    for (p, &i) in preds.iter().zip(&order[done..take]) {
+        acc += u32::from(*p == samples.labels[i]);
         prefix.push(acc);
     }
 }
@@ -91,30 +128,46 @@ fn extend_prefix(
 impl DriftArtifacts {
     /// Correct-count over the first `take` samples of the deviation
     /// ranking, extending the lazy prefix-sum as far as needed.
-    pub fn pool_prefix_at(&mut self, rt: &AppRuntime, node: usize, take: usize) -> u32 {
+    pub fn pool_prefix_at(
+        &mut self,
+        rt: &AppRuntime,
+        node: usize,
+        take: usize,
+        scratch: &mut DetectScratch,
+    ) -> u32 {
         let samples = rt.pools[node].samples();
         extend_prefix(
             &mut self.pool_prefix,
             rt,
             node,
             samples,
+            Some(&self.pool_features),
             &self.deviation,
             take,
+            scratch,
         );
         self.pool_prefix[take]
     }
 
     /// Correct-count over the first `take` samples of the reference
     /// ranking, extending the lazy prefix-sum as far as needed.
-    pub fn ref_prefix_at(&mut self, rt: &AppRuntime, node: usize, take: usize) -> u32 {
+    pub fn ref_prefix_at(
+        &mut self,
+        rt: &AppRuntime,
+        node: usize,
+        take: usize,
+        scratch: &mut DetectScratch,
+    ) -> u32 {
         let samples = rt.ref_samples(node);
         extend_prefix(
             &mut self.ref_prefix,
             rt,
             node,
             samples,
+            None,
             &self.ref_order,
             take,
+            scratch,
         );
         self.ref_prefix[take]
     }
@@ -161,14 +214,21 @@ impl DriftArtifacts {
     }
 }
 
-/// Reusable buffers for [`build_artifacts`]: PCA scratch, projection
-/// outputs and the scored index list. One instance serves every node of
-/// every app — artifacts are built one at a time.
+/// Reusable buffers for [`build_artifacts`]: PCA scratch, feature and
+/// projection matrices, the scored index list and the inference
+/// ping-pong buffers of the lazy prefix extension. One instance serves
+/// every node of every app — artifacts are built one at a time.
 #[derive(Clone, Debug, Default)]
 pub struct DetectScratch {
     pca: PcaScratch,
+    /// Reference-set feature matrix.
+    ref_feats: Matrix,
     projected: Matrix,
     scored: Vec<(usize, f64)>,
+    /// Gathered ranked-subset rows for the prefix extension.
+    chunk: Matrix,
+    /// Forward-pass ping-pong buffers for the prefix extension.
+    infer: InferScratch,
 }
 
 /// Mean projected old-feature vector per class, accumulated in one
@@ -204,31 +264,37 @@ pub fn class_means(projected: &Matrix, labels: &[usize], classes: usize) -> Vec<
 }
 
 /// Ranks `new` samples by descending cosine deviation of their projected
-/// feature vectors from the per-class means of the old data.
-fn rank(
-    rt: &AppRuntime,
-    node: usize,
+/// (pre-computed) feature vectors from the per-class means of the old
+/// data.
+fn rank_features(
     new: &LabeledSamples,
+    features: &Matrix,
     pca: &Pca,
     means: &[Vec<f32>],
-    scratch: &mut DetectScratch,
+    pca_scratch: &mut PcaScratch,
+    projected: &mut Matrix,
+    scored: &mut Vec<(usize, f64)>,
 ) -> Vec<usize> {
     if new.is_empty() {
         return Vec::new();
     }
-    let features = rt.models[node].features(new);
-    pca.transform_into(&features, &mut scratch.pca, &mut scratch.projected);
-    let DetectScratch {
-        projected, scored, ..
-    } = scratch;
+    pca.transform_into(features, pca_scratch, projected);
     scored.clear();
     scored.extend((0..new.len()).map(|i| {
         let mean = &means[new.labels[i]];
         (i, cosine_distance(projected.row(i), mean))
     }));
-    // total_cmp would reorder signed zeros and perturb the golden metrics, so:
-    // simlint: allow(no-unwrap-in-lib) — cosine distances of unit-normalised rows are finite by construction
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite distances"));
+    // total_cmp would reorder signed zeros and perturb the golden metrics.
+    // The unstable sort with the ascending-index tiebreak reproduces the
+    // stable descending sort exactly: `scored` is built in ascending `i`,
+    // so stable order within an equal-distance group IS ascending `i` —
+    // the tiebreak — while skipping the stable sort's merge buffer.
+    scored.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            // simlint: allow(no-unwrap-in-lib) — cosine distances of unit-normalised rows are finite by construction
+            .expect("finite distances")
+            .then(a.0.cmp(&b.0))
+    });
     scored.iter().map(|&(i, _)| i).collect()
 }
 
@@ -252,9 +318,25 @@ fn interleave(ranked: &[usize]) -> Vec<usize> {
 
 /// The deviation rankings of the pool and (optionally) the held-out
 /// reference set, from one feature pass over the old data and **one**
-/// shared PCA fit. The pool ranking never depends on whether the
-/// reference ranking is computed — the keyed PCA stream is consumed
+/// shared PCA fit, plus the fitted basis for warm-starting the next
+/// period and the pool's feature matrix for carrying into the next
+/// period's old-feature slot. The pool ranking never depends on whether
+/// the reference ranking is computed — the keyed PCA stream is consumed
 /// identically either way.
+///
+/// `carry` is an owned buffer with two roles. When its row count matches
+/// the old set, it is the previous period's pool-feature matrix at an
+/// unchanged model version: `advance_period` moves the pool verbatim
+/// into the old set and features are a pure function of (model weights,
+/// samples), so reading it instead of recomputing `features(old)` is
+/// bit-identical. Otherwise only its allocation is reused (callers clear
+/// invalid carries to zero rows). Either way the same buffer is then
+/// overwritten with the pool's features — the old features are dead once
+/// the projections are done — and returned as the artifact's
+/// next-period carry, so the steady state recycles one feature
+/// allocation per `(app, node)` instead of faulting in a fresh matrix
+/// every period.
+#[allow(clippy::too_many_arguments)]
 fn rankings(
     rt: &AppRuntime,
     node: usize,
@@ -262,27 +344,48 @@ fn rankings(
     root: &Prng,
     scratch: &mut DetectScratch,
     with_ref: bool,
-) -> (Vec<usize>, Vec<usize>) {
+    warm: Option<&Matrix>,
+    carry: Matrix,
+) -> (Vec<usize>, Vec<usize>, Matrix, Matrix) {
     let old = rt.old_samples(node);
     let pool = rt.pools[node].samples();
     let held_out = rt.ref_samples(node);
     if old.is_empty() {
-        // No old data to deviate from: identity orders.
-        return ((0..pool.len()).collect(), (0..held_out.len()).collect());
+        // No old data to deviate from: identity orders, nothing fitted.
+        return (
+            (0..pool.len()).collect(),
+            (0..held_out.len()).collect(),
+            Matrix::default(),
+            Matrix::default(),
+        );
     }
     let model = &rt.models[node];
-    let old_features = model.features(old);
+    let DetectScratch {
+        pca: pca_scratch,
+        ref_feats,
+        projected,
+        scored,
+        ..
+    } = scratch;
+    let mut feats = carry;
+    if feats.rows() != old.len() {
+        model.features_into(old, &mut feats);
+    }
     let mut rng = root.split(PCA_STREAM ^ (rt.period() << 16) ^ node as u64);
-    let pca = Pca::fit_with_scratch(&old_features, pca_components, &mut rng, &mut scratch.pca);
-    pca.transform_into(&old_features, &mut scratch.pca, &mut scratch.projected);
-    let means = class_means(&scratch.projected, &old.labels, model.classes());
-    let deviation = rank(rt, node, pool, &pca, &means, scratch);
+    let pca = Pca::fit_warm_with_scratch(&feats, pca_components, &mut rng, pca_scratch, warm);
+    pca.transform_into(&feats, pca_scratch, projected);
+    let means = class_means(projected, &old.labels, model.classes());
+    // The old features are dead from here on: overwrite the buffer with
+    // the pool's features and hand it back as the next-period carry.
+    model.features_into(pool, &mut feats);
+    let deviation = rank_features(pool, &feats, &pca, &means, pca_scratch, projected, scored);
     let ref_order = if with_ref {
-        rank(rt, node, held_out, &pca, &means, scratch)
+        model.features_into(held_out, ref_feats);
+        rank_features(held_out, ref_feats, &pca, &means, pca_scratch, projected, scored)
     } else {
         Vec::new()
     };
-    (deviation, ref_order)
+    (deviation, ref_order, pca.into_components(), feats)
 }
 
 /// The pool deviation ranking alone — the cheap subset of
@@ -297,7 +400,7 @@ pub fn build_deviation_ranking(
     root: &Prng,
     scratch: &mut DetectScratch,
 ) -> Vec<usize> {
-    rankings(rt, node, pca_components, root, scratch, false).0
+    rankings(rt, node, pca_components, root, scratch, false, None, Matrix::default()).0
 }
 
 /// The §3.3.2 retraining order alone — [`build_deviation_ranking`]'s
@@ -326,15 +429,19 @@ pub fn build_retrain_order(
 ///
 /// PCA randomness comes from `root.split(...)` keyed by the runtime's
 /// period and the node, never from an advancing caller stream — so the
-/// result is reproducible from the key alone.
+/// result is reproducible from the key and the warm-start basis alone:
+/// replaying a build with the same `warm` input is bit-identical.
 fn build_ranked(
     rt: &AppRuntime,
     node: usize,
     pca_components: usize,
     root: &Prng,
     scratch: &mut DetectScratch,
+    warm: Option<&Matrix>,
+    carry: Matrix,
 ) -> DriftArtifacts {
-    let (deviation, ref_order) = rankings(rt, node, pca_components, root, scratch, true);
+    let (deviation, ref_order, basis, pool_features) =
+        rankings(rt, node, pca_components, root, scratch, true, warm, carry);
     let retrain = interleave(&deviation);
     let artifacts = DriftArtifacts {
         deviation,
@@ -342,6 +449,8 @@ fn build_ranked(
         ref_order,
         pool_prefix: vec![0],
         ref_prefix: vec![0],
+        basis,
+        pool_features,
     };
     if cfg!(feature = "strict-invariants") {
         artifacts.check_invariants(rt.pools[node].samples().len(), rt.ref_samples(node).len());
@@ -361,41 +470,119 @@ pub fn build_artifacts(
     root: &Prng,
     scratch: &mut DetectScratch,
 ) -> DriftArtifacts {
-    let mut artifacts = build_ranked(rt, node, pca_components, root, scratch);
+    let mut artifacts = build_ranked(rt, node, pca_components, root, scratch, None, Matrix::default());
     let pool_len = artifacts.deviation.len();
     let ref_len = artifacts.ref_order.len();
     if pool_len > 0 {
-        artifacts.pool_prefix_at(rt, node, pool_len);
+        artifacts.pool_prefix_at(rt, node, pool_len, scratch);
     }
     if ref_len > 0 {
-        artifacts.ref_prefix_at(rt, node, ref_len);
+        artifacts.ref_prefix_at(rt, node, ref_len, scratch);
     }
     artifacts
+}
+
+/// One stale prebuild job: its `(app, node)` slot, the key to build at
+/// and the warm-start input resolved for it.
+type PrebuildJob = ((usize, usize), (u64, u64), Option<Matrix>);
+
+/// One cache slot: the tag it was built for, the warm-start input that
+/// build consumed, and the artifacts themselves.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    /// `(pool generation, model version)` the artifacts were built at.
+    key: (u64, u64),
+    /// The warm-start basis this entry's build consumed (`None` = cold
+    /// keyed-random start). Kept so a same-key rebuild (disabled cache)
+    /// replays the original build bit for bit.
+    warm_input: Option<Matrix>,
+    artifacts: DriftArtifacts,
+}
+
+impl CacheEntry {
+    /// The warm-start input a build at `key` should consume given this
+    /// prior entry.
+    ///
+    /// * Same key — a replay (only the disabled cache rebuilds in place):
+    ///   reuse the exact input of the original build, so the rebuild is
+    ///   bit-identical.
+    /// * Next pool generation at an unchanged model version — the
+    ///   previous period's basis is a valid warm start: the old-sample
+    ///   distribution moves gradually, so the dominant subspace barely
+    ///   rotates.
+    /// * Anything else — a model-version bump (retraining rotated the
+    ///   feature space) or a generation jump — invalidates the warm
+    ///   state; the build falls back to the keyed random start.
+    fn warm_for(&self, key: (u64, u64)) -> Option<Matrix> {
+        if self.key == key {
+            return self.warm_input.clone();
+        }
+        let usable = self.key.1 == key.1
+            && self.key.0 + 1 == key.0
+            && self.artifacts.basis.rows() > 0;
+        usable.then(|| self.artifacts.basis.clone())
+    }
+
+    /// Whether this entry's pool-feature matrix is a bit-valid
+    /// old-feature carry for a build at `key`: adjacent pool generation
+    /// at an unchanged model version — the exact condition under which
+    /// `advance_period`'s pool→old move makes the carried matrix
+    /// bit-identical to recomputing `features(old)`. Unlike
+    /// [`Self::warm_for`], an invalid carry never changes results (the
+    /// build recomputes the identical matrix), so same-key replays do
+    /// not need to preserve it — the evicted matrix's *allocation* is
+    /// recycled as the build's feature buffer either way.
+    fn carry_valid(&self, key: (u64, u64)) -> bool {
+        self.key.1 == key.1
+            && self.key.0 + 1 == key.0
+            && self.artifacts.pool_features.rows() > 0
+    }
+
+    /// Takes the evicted pool-feature matrix out of this entry for reuse
+    /// by the replacing build: bit-valid carry contents when
+    /// [`Self::carry_valid`] holds, otherwise a cleared buffer whose
+    /// warmed-up allocation the build overwrites — either way the
+    /// replacing build faults in no fresh feature pages.
+    fn take_carry(&mut self, key: (u64, u64)) -> Matrix {
+        let valid = self.carry_valid(key);
+        let mut carry = std::mem::take(&mut self.artifacts.pool_features);
+        if !valid {
+            carry.reset_zeroed(0, 0);
+        }
+        carry
+    }
 }
 
 /// The per-period artifact cache. Entries are keyed by `(app, node)` and
 /// tagged with `(pool generation, model version)`; a tag mismatch
 /// rebuilds in place, so the map never outgrows `apps × nodes` entries.
+/// Rebuilds warm-start their PCA fit from the previous period's basis
+/// when the model version is unchanged (see [`CacheEntry::warm_for`]).
 #[derive(Clone, Debug)]
 pub struct DriftCache {
-    entries: BTreeMap<(usize, usize), ((u64, u64), DriftArtifacts)>,
+    entries: BTreeMap<(usize, usize), CacheEntry>,
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that rebuilt the artifacts.
     pub misses: u64,
+    /// Rebuilds that warm-started their PCA fit from a previous basis.
+    pub warm_starts: u64,
     enabled: bool,
     scratch: DetectScratch,
 }
 
 impl DriftCache {
     /// Creates the cache. With `enabled == false` every lookup rebuilds —
-    /// bit-identical results either way (the build is a pure function of
-    /// the key and root stream), so the flag is purely a perf switch.
+    /// bit-identical results either way (each rebuild replays the exact
+    /// warm input of its first build, so the build stays a pure function
+    /// of the key, warm state and root stream) — the flag is purely a
+    /// perf switch.
     pub fn new(enabled: bool) -> Self {
         DriftCache {
             entries: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            warm_starts: 0,
             enabled,
             scratch: DetectScratch::default(),
         }
@@ -415,34 +602,144 @@ impl DriftCache {
         let scratch = &mut self.scratch;
         match self.entries.entry((app, node)) {
             Entry::Occupied(mut e) => {
-                if self.enabled && e.get().0 == key {
+                if self.enabled && e.get().key == key {
                     self.hits += 1;
                 } else {
                     self.misses += 1;
-                    let art = build_ranked(rt, node, pca_components, root, scratch);
-                    *e.get_mut() = (key, art);
+                    let warm = e.get().warm_for(key);
+                    self.warm_starts += u64::from(warm.is_some());
+                    let carry = e.get_mut().take_carry(key);
+                    let artifacts = build_ranked(
+                        rt,
+                        node,
+                        pca_components,
+                        root,
+                        scratch,
+                        warm.as_ref(),
+                        carry,
+                    );
+                    *e.get_mut() = CacheEntry {
+                        key,
+                        warm_input: warm,
+                        artifacts,
+                    };
                 }
-                &e.into_mut().1
+                &e.into_mut().artifacts
             }
             Entry::Vacant(v) => {
                 self.misses += 1;
-                let art = build_ranked(rt, node, pca_components, root, scratch);
-                &v.insert((key, art)).1
+                let artifacts = build_ranked(
+                    rt,
+                    node,
+                    pca_components,
+                    root,
+                    scratch,
+                    None,
+                    Matrix::default(),
+                );
+                &v.insert(CacheEntry {
+                    key,
+                    warm_input: None,
+                    artifacts,
+                })
+                .artifacts
             }
+        }
+    }
+
+    /// Builds every stale `(app, node)` entry in `jobs` concurrently
+    /// through the [`adainf_simcore::parallel`] work-index pool, so a
+    /// period boundary pays max-over-nodes build latency instead of the
+    /// sum. Entries that are already current are skipped (they will hit
+    /// on the next [`Self::artifacts`] lookup).
+    ///
+    /// Bit-equality with the sequential path: each build is an
+    /// independent pure function of `(runtime, node, warm input, root)`
+    /// — warm inputs are resolved up front on the caller's thread from
+    /// the *previous* period's entries (builds of the same period never
+    /// feed each other's warm state), each job writes its own slot, and
+    /// insertion happens in job order on the caller's thread. A no-op
+    /// when the cache is disabled, which keeps the disabled path's
+    /// rebuild-per-lookup semantics intact.
+    pub fn prebuild(
+        &mut self,
+        jobs: &[(usize, usize)],
+        apps: &[AppRuntime],
+        pca_components: usize,
+        root: &Prng,
+        threads: usize,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        // Resolve the stale subset, each build's warm input and its
+        // old-feature carry first; the fan-out then only runs pure
+        // builds. The carries are *taken out of* the previous period's
+        // entries on the caller's thread (each job owns its buffer), so
+        // same-period builds never feed each other. Each fan-out job
+        // claims its carry through an uncontended per-job mutex — the
+        // work-index pool dispatches every index exactly once.
+        let mut stale: Vec<PrebuildJob> = Vec::new();
+        let mut carries: Vec<std::sync::Mutex<Matrix>> = Vec::new();
+        for &(app, node) in jobs {
+            let rt = &apps[app];
+            let key = (rt.period(), rt.models[node].version());
+            match self.entries.get_mut(&(app, node)) {
+                Some(e) if e.key == key => {}
+                prior => {
+                    let (warm, carry) = match prior {
+                        Some(e) => (e.warm_for(key), e.take_carry(key)),
+                        None => (None, Matrix::default()),
+                    };
+                    stale.push(((app, node), key, warm));
+                    carries.push(std::sync::Mutex::new(carry));
+                }
+            }
+        }
+        let built = fan_out_indexed(
+            stale.len(),
+            threads,
+            DetectScratch::default,
+            |i, scratch: &mut DetectScratch| {
+                let ((app, node), _, warm) = &stale[i];
+                // simlint: allow(no-unwrap-in-lib) — a poisoned mutex means a sibling build panicked; propagating is correct
+                let carry = std::mem::take(&mut *carries[i].lock().expect("carry mutex poisoned"));
+                build_ranked(
+                    &apps[*app],
+                    *node,
+                    pca_components,
+                    root,
+                    scratch,
+                    warm.as_ref(),
+                    carry,
+                )
+            },
+        );
+        for ((slot, key, warm), artifacts) in stale.into_iter().zip(built) {
+            self.misses += 1;
+            self.warm_starts += u64::from(warm.is_some());
+            self.entries.insert(
+                slot,
+                CacheEntry {
+                    key,
+                    warm_input: warm,
+                    artifacts,
+                },
+            );
         }
     }
 
     /// Shared view of an already-built entry; `None` when
     /// [`Self::artifacts`] has not run for `(app, node)` yet.
     pub fn get(&self, app: usize, node: usize) -> Option<&DriftArtifacts> {
-        self.entries.get(&(app, node)).map(|(_, art)| art)
+        self.entries.get(&(app, node)).map(|e| &e.artifacts)
     }
 
     /// Mutable view of an already-built entry, for lazily extending its
     /// prefix-sums in place (the extension is value-preserving, so a
     /// later hit replays exactly what a fresh build would produce).
     pub fn get_mut(&mut self, app: usize, node: usize) -> Option<&mut DriftArtifacts> {
-        self.entries.get_mut(&(app, node)).map(|(_, art)| art)
+        self.entries.get_mut(&(app, node)).map(|e| &mut e.artifacts)
     }
 }
 
@@ -565,10 +862,11 @@ mod tests {
         // Lazily extending the cached entry — in two steps, through a
         // hit — must land on the same prefix-sums as the eager build.
         let art = cache.get_mut(0, 1).expect("entry present");
+        let mut scratch = DetectScratch::default();
         let half = fresh.deviation.len() / 2;
-        art.pool_prefix_at(&rt, 1, half);
-        art.pool_prefix_at(&rt, 1, fresh.deviation.len());
-        art.ref_prefix_at(&rt, 1, fresh.ref_order.len());
+        art.pool_prefix_at(&rt, 1, half, &mut scratch);
+        art.pool_prefix_at(&rt, 1, fresh.deviation.len(), &mut scratch);
+        art.ref_prefix_at(&rt, 1, fresh.ref_order.len(), &mut scratch);
         assert_eq!(art.pool_prefix, fresh.pool_prefix);
         assert_eq!(art.ref_prefix, fresh.ref_prefix);
     }
@@ -610,6 +908,104 @@ mod tests {
             assert_eq!(deviation, full.deviation, "node {node}");
             assert_eq!(retrain, full.retrain, "node {node}");
         }
+    }
+
+    /// Prebuilding a period's artifacts through the scoped-thread fan-out
+    /// must leave the cache in exactly the state sequential lookups would
+    /// have produced — entries, counters and warm chains included — at
+    /// every thread count.
+    #[test]
+    fn parallel_prebuild_bit_equal_sequential_lookups() {
+        let root = Prng::new(7);
+        for threads in [1, 2, 7] {
+            let mut rt = drifted_runtime(1);
+            let mut seq = DriftCache::new(true);
+            let mut par = DriftCache::new(true);
+            // Two generations so the second prebuild exercises warm starts.
+            for _ in 0..2 {
+                let nodes = rt.spec.nodes.len();
+                let jobs: Vec<(usize, usize)> = (0..nodes).map(|n| (0, n)).collect();
+                let apps = std::slice::from_ref(&rt);
+                par.prebuild(&jobs, apps, 8, &root, threads);
+                for node in 0..nodes {
+                    let s = seq.artifacts(0, &rt, node, 8, &root).clone();
+                    let p = par.artifacts(0, &rt, node, 8, &root);
+                    assert_eq!(s.deviation, p.deviation, "threads {threads} node {node}");
+                    assert_eq!(s.retrain, p.retrain, "threads {threads} node {node}");
+                    assert_eq!(s.ref_order, p.ref_order, "threads {threads} node {node}");
+                    let sb: Vec<u32> = s.basis.data().iter().map(|x| x.to_bits()).collect();
+                    let pb: Vec<u32> = p.basis.data().iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(sb, pb, "threads {threads} node {node} basis");
+                }
+                rt.advance_period();
+            }
+            assert_eq!(seq.misses, par.misses, "threads {threads}");
+            assert_eq!(seq.warm_starts, par.warm_starts, "threads {threads}");
+            assert!(par.warm_starts > 0, "second generation must warm-start");
+            // Prebuilt entries are current: the lookups above all hit.
+            assert_eq!(par.hits as usize, 2 * rt.spec.nodes.len(), "threads {threads}");
+        }
+    }
+
+    /// Warm state survives exactly one period step at a fixed model
+    /// version, and dies on a model-version bump or a generation jump.
+    #[test]
+    fn warm_start_invalidates_on_version_and_generation_bumps() {
+        let root = Prng::new(7);
+
+        // Adjacent periods, same model version: warm start.
+        let mut rt = drifted_runtime(1);
+        let mut cache = DriftCache::new(true);
+        cache.artifacts(0, &rt, 1, 8, &root);
+        rt.advance_period();
+        cache.artifacts(0, &rt, 1, 8, &root);
+        assert_eq!(cache.warm_starts, 1, "adjacent period must warm-start");
+
+        // Model-version bump alongside the period step: cold restart.
+        let mut rt = drifted_runtime(1);
+        let mut cache = DriftCache::new(true);
+        cache.artifacts(0, &rt, 1, 8, &root);
+        rt.advance_period();
+        let slice = rt.pools[1].samples().clone();
+        rt.models[1].train_slice(&slice, 1);
+        cache.artifacts(0, &rt, 1, 8, &root);
+        assert_eq!(cache.warm_starts, 0, "version bump must invalidate");
+
+        // Generation jump (two periods between builds): cold restart.
+        let mut rt = drifted_runtime(1);
+        let mut cache = DriftCache::new(true);
+        cache.artifacts(0, &rt, 1, 8, &root);
+        rt.advance_period();
+        rt.advance_period();
+        cache.artifacts(0, &rt, 1, 8, &root);
+        assert_eq!(cache.warm_starts, 0, "generation jump must invalidate");
+    }
+
+    /// A disabled cache rebuilds per lookup; after a period step its
+    /// rebuilds replay the enabled cache's warm chain, so the two stay
+    /// bit-identical even once warm starts enter the picture.
+    #[test]
+    fn disabled_cache_matches_across_warm_started_periods() {
+        let root = Prng::new(7);
+        let mut rt = drifted_runtime(1);
+        let mut on = DriftCache::new(true);
+        let mut off = DriftCache::new(false);
+        for _ in 0..2 {
+            let a = on.artifacts(0, &rt, 1, 8, &root).clone();
+            let b = off.artifacts(0, &rt, 1, 8, &root).clone();
+            // Repeat lookup on the disabled cache: replays the warm input.
+            let c = off.artifacts(0, &rt, 1, 8, &root).clone();
+            assert_eq!(a.deviation, b.deviation);
+            assert_eq!(b.deviation, c.deviation);
+            let ab: Vec<u32> = a.basis.data().iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u32> = b.basis.data().iter().map(|x| x.to_bits()).collect();
+            let cb: Vec<u32> = c.basis.data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ab, bb);
+            assert_eq!(bb, cb);
+            rt.advance_period();
+        }
+        assert_eq!(on.warm_starts, off.warm_starts / 2);
+        assert!(on.warm_starts > 0);
     }
 
     #[test]

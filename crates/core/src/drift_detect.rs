@@ -53,13 +53,17 @@ pub struct DriftReport {
 ///
 /// `root` is only used as a split root for the keyed per-`(period, node)`
 /// PCA stream — it is never advanced, so repeated calls are reproducible.
+/// `scratch` holds the PCA/projection buffers; callers loop over nodes,
+/// so taking it from the caller reuses one allocation set across the
+/// whole sweep instead of reallocating per call.
 pub fn deviation_order(
     rt: &AppRuntime,
     node: usize,
     pca_components: usize,
     root: &Prng,
+    scratch: &mut DetectScratch,
 ) -> Vec<usize> {
-    build_deviation_ranking(rt, node, pca_components, root, &mut DetectScratch::default())
+    build_deviation_ranking(rt, node, pca_components, root, scratch)
 }
 
 /// The retraining consumption order (§3.3.2): deviation-prioritised but
@@ -74,8 +78,9 @@ pub fn retrain_order(
     node: usize,
     pca_components: usize,
     root: &Prng,
+    scratch: &mut DetectScratch,
 ) -> Vec<usize> {
-    build_retrain_order(rt, node, pca_components, root, &mut DetectScratch::default())
+    build_retrain_order(rt, node, pca_components, root, scratch)
 }
 
 /// Runs the §3.2 detection loop over all nodes of one application.
@@ -109,6 +114,10 @@ pub fn detect_drift_cached(
     let mut stable = 0usize;
     let mut last_set: Option<Vec<usize>> = None;
     let mut impacts = vec![0.0f64; n_nodes];
+    // One buffer set for every lazy prefix extension of this detection
+    // run: the gather/forward scratch warms up on the first chunk and is
+    // reused across nodes and S rounds.
+    let mut scratch = DetectScratch::default();
 
     while stable < config.stable_rounds && s <= 1.0 {
         let mut set = Vec::new();
@@ -128,8 +137,8 @@ pub fn detect_drift_cached(
             // prefix divided by its length — bit-equal to `accuracy_on`
             // over the same cloned subset (the head forward pass is
             // row-independent).
-            let i_prime = art.pool_prefix_at(rt, node, take) as f64 / take as f64;
-            let i_m = art.ref_prefix_at(rt, node, ref_take) as f64 / ref_take as f64;
+            let i_prime = art.pool_prefix_at(rt, node, take, &mut scratch) as f64 / take as f64;
+            let i_m = art.ref_prefix_at(rt, node, ref_take, &mut scratch) as f64 / ref_take as f64;
             if i_m - i_prime > config.detect_margin {
                 set.push(node);
                 *impact = i_m - i_prime;
@@ -271,7 +280,7 @@ mod tests {
     fn deviation_order_is_permutation() {
         let rt = drifted_runtime(1);
         let rng = Prng::new(4);
-        let order = deviation_order(&rt, 1, 8, &rng);
+        let order = deviation_order(&rt, 1, 8, &rng, &mut DetectScratch::default());
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..order.len()).collect::<Vec<_>>());

@@ -167,6 +167,13 @@ pub trait Scheduler {
     fn drift_overhead_ns(&self) -> u128 {
         0
     }
+
+    /// Wall-clock nanoseconds of drift work per period boundary, in
+    /// period order, if tracked — the per-sample view behind the p99
+    /// drift latency the harness reports.
+    fn drift_period_ns(&self) -> &[u64] {
+        &[]
+    }
 }
 
 #[cfg(test)]

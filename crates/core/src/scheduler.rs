@@ -65,6 +65,9 @@ pub struct AdaInfScheduler {
     /// Cumulative wall-clock spent in period-boundary drift work
     /// (detection + retraining-order selection).
     drift_wall_ns: u128,
+    /// The same drift wall-clock, per period boundary in period order —
+    /// the distribution behind the harness's p99 drift latency.
+    drift_period_ns: Vec<u64>,
     /// Exact memoisation of the per-session searches (see [`crate::cache`]).
     cache: DecisionCache,
     /// Per-period drift artifact cache (see [`crate::drift_cache`]):
@@ -96,6 +99,7 @@ impl AdaInfScheduler {
             sched_wall_ns: 0,
             sched_calls: 0,
             drift_wall_ns: 0,
+            drift_period_ns: Vec::new(),
             cache: DecisionCache::default(),
             drift,
         }
@@ -176,6 +180,10 @@ impl Scheduler for AdaInfScheduler {
         self.drift_wall_ns
     }
 
+    fn drift_period_ns(&self) -> &[u64] {
+        &self.drift_period_ns
+    }
+
     fn on_period_start(
         &mut self,
         apps: &mut [AppRuntime],
@@ -197,6 +205,24 @@ impl Scheduler for AdaInfScheduler {
                 drift,
                 ..
             } = self;
+            // Build this period's artifacts concurrently before the
+            // sequential sweep reads them. The job set mirrors exactly
+            // what the sweep below touches — every node of apps that run
+            // detection, and only the frozen RI-DAG's retraining nodes
+            // otherwise — so warm-start chains are identical whether the
+            // entries were prebuilt or built on first lookup.
+            if config.drift_artifact_cache && config.drift_parallel_build {
+                let mut jobs: Vec<(usize, usize)> = Vec::new();
+                for (a, rt) in apps.iter().enumerate() {
+                    let update_dag = config.update_dag_each_period || !states[a].frozen;
+                    for node in 0..rt.spec.nodes.len() {
+                        if update_dag || states[a].ridag.retrains(node) {
+                            jobs.push((a, node));
+                        }
+                    }
+                }
+                drift.prebuild(&jobs, apps, config.pca_components, rng, 0);
+            }
             for (a, rt) in apps.iter_mut().enumerate() {
                 // AdaInf/U builds each application's DAG once — frozen at
                 // the first period in which drift is detected at all.
@@ -225,7 +251,9 @@ impl Scheduler for AdaInfScheduler {
                 }
             }
         }
-        self.drift_wall_ns += drift_wall.elapsed_nanos();
+        let drift_elapsed = drift_wall.elapsed_nanos();
+        self.drift_wall_ns += drift_elapsed;
+        self.drift_period_ns.push(drift_elapsed as u64);
         self.refresh_accuracy_tables(apps);
         // Time plans are valid only for this period's DAGs and accuracy
         // snapshots — drop the stale ones.

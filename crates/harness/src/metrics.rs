@@ -56,6 +56,10 @@ pub struct RunMetrics {
     /// Wall-clock nanoseconds the scheduler spent on drift detection and
     /// retraining-order selection across the run (Table 1, "drift").
     pub drift_detect_ns: u64,
+    /// Drift wall time per period boundary (µs, period order) for
+    /// schedulers that track it — the distribution behind
+    /// [`Summary::drift_detect_p99_us`]. Empty otherwise.
+    pub drift_detect_period_us: Vec<f64>,
     /// Total requests served.
     pub total_requests: u64,
     /// Retraining samples consumed per (app, node), cumulative.
@@ -128,6 +132,7 @@ impl RunMetrics {
             cache_misses: 0,
             cache_evictions: 0,
             drift_detect_ns: 0,
+            drift_detect_period_us: Vec::new(),
             total_requests: 0,
             retrain_samples: node_counts.iter().map(|&n| vec![0; n]).collect(),
             per_app_latency: node_counts
@@ -176,6 +181,20 @@ impl RunMetrics {
         (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99))
     }
 
+    /// p99 per-period drift wall time (µs), nearest-rank over the
+    /// per-period samples; 0 when the scheduler tracks no per-period
+    /// drift times. The tail matters more than the mean here: one slow
+    /// period boundary stalls every session of that period.
+    pub fn drift_detect_p99_us(&self) -> f64 {
+        if self.drift_detect_period_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.drift_detect_period_us.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
     /// Decision-cache hit rate over the run (0 when no cache ran).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -208,6 +227,7 @@ impl RunMetrics {
             drift_detect_us: self.drift_detect_ns as f64
                 / 1e3
                 / self.period_overhead.count().max(1) as f64,
+            drift_detect_p99_us: self.drift_detect_p99_us(),
             shed_requests: self.shed_requests,
             degraded_jobs: self.degraded_jobs,
             fault_sessions: self.fault_sessions,
@@ -322,6 +342,9 @@ pub struct Summary {
     pub cache_evictions: u64,
     /// Mean drift-detection + retraining-order wall time per period (µs).
     pub drift_detect_us: f64,
+    /// p99 per-period drift wall time (µs) — the period-boundary stall
+    /// tail (0 for schedulers without per-period tracking).
+    pub drift_detect_p99_us: f64,
     /// Requests shed by admission control (0 without faults).
     pub shed_requests: u64,
     /// Jobs served degraded after reload give-up (0 without faults).
@@ -353,6 +376,7 @@ impl Summary {
             ("cache_hit_rate", json::num(self.cache_hit_rate)),
             ("cache_evictions", json::int(self.cache_evictions)),
             ("drift_detect_us", json::num(self.drift_detect_us)),
+            ("drift_detect_p99_us", json::num(self.drift_detect_p99_us)),
             ("shed_requests", json::int(self.shed_requests)),
             ("degraded_jobs", json::int(self.degraded_jobs)),
             ("fault_sessions", json::int(self.fault_sessions)),

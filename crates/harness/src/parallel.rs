@@ -6,58 +6,17 @@
 
 use crate::metrics::RunMetrics;
 use crate::sim::{run, RunConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use adainf_simcore::parallel::fan_out;
 
 /// Runs every configuration, using up to `threads` worker threads
 /// (0 = one per configuration, capped at the available parallelism).
 ///
-/// Work distribution is lock-free: workers claim job indices from one
+/// Work distribution is the lock-free atomic work-index pool of
+/// [`adainf_simcore::parallel`]: workers claim job indices from one
 /// shared atomic counter and each writes its result into a dedicated
 /// slot, so many-core sweeps never contend on a queue or results lock.
 pub fn run_many(configs: Vec<RunConfig>, threads: usize) -> Vec<RunMetrics> {
-    let n = configs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let max_threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(n)
-    } else {
-        threads.min(n)
-    };
-    if max_threads <= 1 || n == 1 {
-        return configs.into_iter().map(run).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<RunMetrics>> = (0..n).map(|_| OnceLock::new()).collect();
-    let configs = &configs;
-
-    std::thread::scope(|scope| {
-        for _ in 0..max_threads {
-            scope.spawn(|| loop {
-                // Each index is claimed by exactly one worker, so the
-                // matching slot write can never collide.
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let metrics = run(configs[idx].clone());
-                if slots[idx].set(metrics).is_err() {
-                    unreachable!("slot {idx} claimed twice");
-                }
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        // simlint: allow(no-unwrap-in-lib) — the scoped threads above joined, so every slot was filled
-        .map(|slot| slot.into_inner().expect("every job completed"))
-        .collect()
+    fan_out(configs.len(), threads, |idx| run(configs[idx].clone()))
 }
 
 #[cfg(test)]

@@ -1062,6 +1062,12 @@ impl Simulation {
         self.metrics.cache_misses = misses;
         self.metrics.cache_evictions = evictions;
         self.metrics.drift_detect_ns = self.scheduler.drift_overhead_ns() as u64;
+        self.metrics.drift_detect_period_us = self
+            .scheduler
+            .drift_period_ns()
+            .iter()
+            .map(|&ns| ns as f64 / 1e3)
+            .collect();
         if let Some(chaos) = &self.chaos {
             self.metrics.storm_evictions = chaos.mem.stats().pressure_evictions;
         }

@@ -9,7 +9,7 @@
 
 use crate::profile::ModelProfile;
 use adainf_driftgen::LabeledSamples;
-use adainf_nn::{EarlyExitMlp, Matrix, MlpConfig};
+use adainf_nn::{EarlyExitMlp, InferScratch, Matrix, MlpConfig};
 use adainf_simcore::Prng;
 
 /// Feature dimensionality shared by all task streams and heads.
@@ -102,6 +102,38 @@ impl TrainableModel {
         self.head.predict(inputs, self.head_exit_for_cut(cut))
     }
 
+    /// [`Self::predict`] through caller-provided inference buffers —
+    /// bit-identical predictions, no per-call allocations beyond the
+    /// returned index vector.
+    pub fn predict_with_scratch(
+        &self,
+        inputs: &Matrix,
+        cut: usize,
+        scratch: &mut InferScratch,
+    ) -> Vec<usize> {
+        self.head
+            .predict_with_scratch(inputs, self.head_exit_for_cut(cut), scratch)
+    }
+
+    /// [`Self::predict_with_scratch`] resumed from a cached
+    /// first-layer feature matrix (see
+    /// [`adainf_nn::EarlyExitMlp::predict_from_features_with_scratch`]):
+    /// `features` rows must come from [`Self::features_into`] at the
+    /// same model version. Predictions are bit-identical to the input
+    /// pass at one dense layer less.
+    pub fn predict_from_features_with_scratch(
+        &self,
+        features: &Matrix,
+        cut: usize,
+        scratch: &mut InferScratch,
+    ) -> Vec<usize> {
+        self.head.predict_from_features_with_scratch(
+            features,
+            self.head_exit_for_cut(cut),
+            scratch,
+        )
+    }
+
     /// Mini-batch size of the head's SGD.
     pub const SGD_BATCH: usize = 32;
 
@@ -136,6 +168,13 @@ impl TrainableModel {
     /// detector uses as "the feature vector of every new sample" (§3.2).
     pub fn features(&self, samples: &LabeledSamples) -> Matrix {
         self.head.features(&samples.inputs)
+    }
+
+    /// [`Self::features`] into a caller-owned buffer (reshaped in
+    /// place) — the drift data path reuses one feature matrix per
+    /// period instead of allocating per pass.
+    pub fn features_into(&self, samples: &LabeledSamples, out: &mut Matrix) {
+        self.head.features_into(&samples.inputs, out);
     }
 
     /// Snapshot of the head parameters (for parameter averaging, §3.3.2).

@@ -129,6 +129,24 @@ impl Matrix {
             .extend_from_slice(&src.data[r0 * src.cols..r1 * src.cols]);
     }
 
+    /// Reshapes this matrix to `indices.len() × src.cols()` and copies
+    /// the selected rows of `src` in index order, reusing the existing
+    /// allocation — the gather primitive behind zero-alloc ranked-subset
+    /// passes (each row is the verbatim source row, so any row-wise
+    /// computation over the gather bit-matches one over a cloned
+    /// subset).
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    pub fn gather_rows_from(&mut self, src: &Matrix, indices: &[usize]) {
+        self.rows = indices.len();
+        self.cols = src.cols;
+        self.data.clear();
+        for &i in indices {
+            self.data.extend_from_slice(src.row(i));
+        }
+    }
+
     /// `self × other`.
     ///
     /// # Panics
@@ -143,7 +161,10 @@ impl Matrix {
     /// place). The i→k→j loop order keeps the inner loop a straight
     /// `axpy` over contiguous rows, which the compiler autovectorises;
     /// per-element accumulation order is the k order, identical to
-    /// [`Self::matmul`], so results are bit-identical.
+    /// [`Self::matmul`], so results are bit-identical. Two `self` rows
+    /// share each pass over the `other` block, halving the B-row
+    /// traffic; the per-element accumulators stay independent, so
+    /// blocking changes nothing bitwise.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -151,13 +172,80 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         out.reset_zeroed(self.rows, other.cols);
         let w = other.cols;
-        for i in 0..self.rows {
+        let d = self.cols;
+        let mut i = 0;
+        while i + 2 <= self.rows {
+            let a0 = &self.data[i * d..(i + 1) * d];
+            let a1 = &self.data[(i + 1) * d..(i + 2) * d];
+            let (lo, hi) = out.data.split_at_mut((i + 1) * w);
+            let o0 = &mut lo[i * w..];
+            let o1 = &mut hi[..w];
+            // Eight k steps per pass: each output element still receives
+            // its contributions in ascending k order (bit-exact against
+            // the one-step loop), while the B rows loaded for the block
+            // feed both output rows.
+            let mut k = 0;
+            while k + 8 <= d {
+                let a = &a0[k..k + 8];
+                let c = &a1[k..k + 8];
+                let b = &other.data[k * w..(k + 8) * w];
+                let (b0, rest) = b.split_at(w);
+                let (b1, rest) = rest.split_at(w);
+                let (b2, rest) = rest.split_at(w);
+                let (b3, rest) = rest.split_at(w);
+                let (b4, rest) = rest.split_at(w);
+                let (b5, rest) = rest.split_at(w);
+                let (b6, b7) = rest.split_at(w);
+                for (((((((((o, p), &v0), &v1), &v2), &v3), &v4), &v5), &v6), &v7) in o0
+                    .iter_mut()
+                    .zip(o1.iter_mut())
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                    .zip(b4)
+                    .zip(b5)
+                    .zip(b6)
+                    .zip(b7)
+                {
+                    let mut acc = *o;
+                    acc += a[0] * v0;
+                    acc += a[1] * v1;
+                    acc += a[2] * v2;
+                    acc += a[3] * v3;
+                    acc += a[4] * v4;
+                    acc += a[5] * v5;
+                    acc += a[6] * v6;
+                    acc += a[7] * v7;
+                    *o = acc;
+                    let mut bcc = *p;
+                    bcc += c[0] * v0;
+                    bcc += c[1] * v1;
+                    bcc += c[2] * v2;
+                    bcc += c[3] * v3;
+                    bcc += c[4] * v4;
+                    bcc += c[5] * v5;
+                    bcc += c[6] * v6;
+                    bcc += c[7] * v7;
+                    *p = bcc;
+                }
+                k += 8;
+            }
+            for ((&a, &c), orow) in a0[k..]
+                .iter()
+                .zip(&a1[k..])
+                .zip(other.data[k * w..].chunks_exact(w))
+            {
+                for ((o, p), &b) in o0.iter_mut().zip(o1.iter_mut()).zip(orow) {
+                    *o += a * b;
+                    *p += c * b;
+                }
+            }
+            i += 2;
+        }
+        if i < self.rows {
             let arow = self.row(i);
             let out_row = out.row_mut(i);
-            // Four k steps per pass: each output element still receives
-            // its four contributions in ascending k order (bit-exact
-            // against the one-step loop), but the output row is loaded
-            // and stored once per four steps instead of every step.
             let mut k = 0;
             while k + 8 <= arow.len() {
                 let a = &arow[k..k + 8];
@@ -196,6 +284,40 @@ impl Matrix {
             for (&a, orow) in arow[k..].iter().zip(other.data[k * w..].chunks_exact(w)) {
                 for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// `relu?(self × weights + bias)`, written into `out` — the fused
+    /// dense-layer forward pass. Runs the exact [`Self::matmul_into`]
+    /// loop, then applies the bias add (and optional ReLU) to each output
+    /// row as soon as its accumulation finishes, while the row is still
+    /// cache-hot — instead of two further full-matrix passes. Every
+    /// output element sees the same operations in the same order as
+    /// `matmul_into` + `add_row_vec` + `relu_inplace`, so results are
+    /// bit-identical.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or bias-width mismatch.
+    pub fn affine_into(&self, weights: &Matrix, bias: &[f32], relu: bool, out: &mut Matrix) {
+        assert_eq!(self.cols, weights.rows, "matmul shape mismatch");
+        assert_eq!(bias.len(), weights.cols, "bias width mismatch");
+        // The accumulation pass is the exact [`Self::matmul_into`] loop
+        // (shared so the two-row blocking lives in one place).
+        self.matmul_into(weights, out);
+        // Row epilogue: bias, then the ReLU clamp — the exact order of
+        // the unfused add_row_vec / relu_inplace passes.
+        for i in 0..self.rows {
+            let out_row = out.row_mut(i);
+            for (o, &b) in out_row.iter_mut().zip(bias) {
+                *o += b;
+            }
+            if relu {
+                for o in out_row.iter_mut() {
+                    if *o < 0.0 {
+                        *o = 0.0;
+                    }
                 }
             }
         }
@@ -343,6 +465,190 @@ impl Matrix {
                 }
                 *o = acc;
             }
+        }
+    }
+
+    /// `(self − mean) × otherᵀ`, written into `out` — the PCA projection
+    /// with the per-column mean subtraction fused into the GEMM instead
+    /// of materialising a centred copy first. Each `self` element is
+    /// centred (`x − mean[k]`) at the moment it enters the dot products,
+    /// which is the identical f32 subtraction the standalone centring
+    /// pass performs — per-element operation order matches
+    /// `center_into` + [`Self::matmul_t_into`] exactly, so results are
+    /// bit-identical at one full matrix write+read less.
+    ///
+    /// # Panics
+    /// Panics on column-count or mean-width mismatch.
+    pub fn centered_matmul_t_into(&self, mean: &[f32], other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        assert_eq!(mean.len(), self.cols, "mean width mismatch");
+        if other.rows == 8 {
+            return self.centered_matmul_t8_into(mean, other, out);
+        }
+        out.reset_zeroed(self.rows, other.rows);
+        let n = other.rows;
+        let w = other.cols;
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let out_row = out.row_mut(i);
+            let mut j = 0;
+            while j + 8 <= n {
+                let b = &other.data[j * w..(j + 8) * w];
+                let (b0, rest) = b.split_at(w);
+                let (b1, rest) = rest.split_at(w);
+                let (b2, rest) = rest.split_at(w);
+                let (b3, rest) = rest.split_at(w);
+                let (b4, rest) = rest.split_at(w);
+                let (b5, rest) = rest.split_at(w);
+                let (b6, b7) = rest.split_at(w);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (((((((((&a, &m), &v0), &v1), &v2), &v3), &v4), &v5), &v6), &v7) in arow
+                    .iter()
+                    .zip(mean)
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                    .zip(b4)
+                    .zip(b5)
+                    .zip(b6)
+                    .zip(b7)
+                {
+                    let x = a - m;
+                    s0 += x * v0;
+                    s1 += x * v1;
+                    s2 += x * v2;
+                    s3 += x * v3;
+                    s4 += x * v4;
+                    s5 += x * v5;
+                    s6 += x * v6;
+                    s7 += x * v7;
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                out_row[j + 4] = s4;
+                out_row[j + 5] = s5;
+                out_row[j + 6] = s6;
+                out_row[j + 7] = s7;
+                j += 8;
+            }
+            for (o, brow) in out_row[j..]
+                .iter_mut()
+                .zip(other.data[j * w..].chunks_exact(w))
+            {
+                let mut acc = 0.0;
+                for ((a, m), b) in arow.iter().zip(mean).zip(brow) {
+                    acc += (a - m) * b;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// [`Self::centered_matmul_t_into`] specialised to exactly eight
+    /// `other` rows — the default-width PCA projection. The component
+    /// rows are first transposed into a k-major `d × 8` layout so the
+    /// eight per-element accumulators sit in one contiguous lane group;
+    /// the fixed-width `[f32; 8]` accumulator then vectorises to a
+    /// single 256-bit multiply-add per `k` step instead of eight scalar
+    /// chains fed by strided row loads (measured ~3× on the 6000×32
+    /// drift-projection shape). Each output element still owns one
+    /// accumulator fed in ascending `k` order, so results are
+    /// bit-identical to the general path.
+    fn centered_matmul_t8_into(&self, mean: &[f32], other: &Matrix, out: &mut Matrix) {
+        let d = self.cols;
+        let mut ct = vec![0.0f32; d * 8];
+        for j in 0..8 {
+            let row = other.row(j);
+            for k in 0..d {
+                ct[k * 8 + j] = row[k];
+            }
+        }
+        out.reset_zeroed(self.rows, 8);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let mut acc = [0.0f32; 8];
+            for ((&a, &m), ctk) in arow.iter().zip(mean).zip(ct.chunks_exact(8)) {
+                let x = a - m;
+                for (s, &c) in acc.iter_mut().zip(ctk) {
+                    *s += x * c;
+                }
+            }
+            out.row_mut(i).copy_from_slice(&acc);
+        }
+    }
+
+    /// `self × v`, written into `out` (resized in place) — the
+    /// power-iteration matvec of the PCA fit, in the same blocked family
+    /// as [`Self::matmul_t_into`].
+    ///
+    /// Rows are processed eight at a time with one independent
+    /// accumulator each, so every output element is still a plain
+    /// ascending-`k` dot product — bit-exact against the scalar
+    /// row-by-row loop — while eight FP add latency chains overlap and
+    /// eight matrix rows stream through the cache per pass.
+    ///
+    /// # Panics
+    /// Panics when `v.len() != self.cols()`.
+    pub fn matvec_into(&self, v: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(v.len(), self.cols, "matvec shape mismatch");
+        out.clear();
+        out.resize(self.rows, 0.0);
+        let w = self.cols;
+        let mut i = 0;
+        while i + 8 <= self.rows {
+            let b = &self.data[i * w..(i + 8) * w];
+            let (b0, rest) = b.split_at(w);
+            let (b1, rest) = rest.split_at(w);
+            let (b2, rest) = rest.split_at(w);
+            let (b3, rest) = rest.split_at(w);
+            let (b4, rest) = rest.split_at(w);
+            let (b5, rest) = rest.split_at(w);
+            let (b6, b7) = rest.split_at(w);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((((((&a, &v0), &v1), &v2), &v3), &v4), &v5), &v6), &v7) in v
+                .iter()
+                .zip(b0)
+                .zip(b1)
+                .zip(b2)
+                .zip(b3)
+                .zip(b4)
+                .zip(b5)
+                .zip(b6)
+                .zip(b7)
+            {
+                s0 += a * v0;
+                s1 += a * v1;
+                s2 += a * v2;
+                s3 += a * v3;
+                s4 += a * v4;
+                s5 += a * v5;
+                s6 += a * v6;
+                s7 += a * v7;
+            }
+            out[i] = s0;
+            out[i + 1] = s1;
+            out[i + 2] = s2;
+            out[i + 3] = s3;
+            out[i + 4] = s4;
+            out[i + 5] = s5;
+            out[i + 6] = s6;
+            out[i + 7] = s7;
+            i += 8;
+        }
+        for (o, row) in out[i..]
+            .iter_mut()
+            .zip(self.data[i * w..].chunks_exact(w))
+        {
+            let mut acc = 0.0;
+            for (a, b) in v.iter().zip(row) {
+                acc += a * b;
+            }
+            *o = acc;
         }
     }
 
@@ -535,6 +841,92 @@ mod tests {
         assert_eq!(sparse.matmul(&dense).data(), &[5.0, 6.0, 0.0, 0.0]);
     }
 
+    /// The fused dense forward must bit-match the unfused three-pass
+    /// pipeline at every shape, including k-block remainders.
+    #[test]
+    fn affine_into_bit_matches_unfused_pipeline() {
+        let mut rng = Prng::new(23);
+        for rows in [1usize, 7, 9, 33] {
+            for (k, w) in [(16usize, 32usize), (5, 3), (8, 8), (17, 24)] {
+                let a_data: Vec<f32> = (0..rows * k).map(|_| rng.gauss() as f32).collect();
+                let w_data: Vec<f32> = (0..k * w).map(|_| rng.gauss() as f32).collect();
+                let bias: Vec<f32> = (0..w).map(|_| rng.gauss() as f32).collect();
+                let a = Matrix::from_slice(rows, k, &a_data);
+                let weights = Matrix::from_slice(k, w, &w_data);
+                for relu in [false, true] {
+                    let mut expect = Matrix::default();
+                    a.matmul_into(&weights, &mut expect);
+                    expect.add_row_vec(&bias);
+                    if relu {
+                        expect.relu_inplace();
+                    }
+                    let mut got = Matrix::from_slice(1, 1, &[5.0]);
+                    a.affine_into(&weights, &bias, relu, &mut got);
+                    let eb: Vec<u32> = expect.data().iter().map(|x| x.to_bits()).collect();
+                    let gb: Vec<u32> = got.data().iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(gb, eb, "{rows}x{k}x{w} relu={relu}");
+                }
+            }
+        }
+    }
+
+    /// The fused centred projection must bit-match centring into a
+    /// scratch matrix first and then running the plain `matmul_t_into`.
+    #[test]
+    fn centered_matmul_t_bit_matches_two_pass() {
+        let mut rng = Prng::new(29);
+        for rows in [1usize, 8, 21] {
+            for (w, n) in [(32usize, 8usize), (6, 3), (12, 11)] {
+                let a_data: Vec<f32> = (0..rows * w).map(|_| rng.gauss() as f32).collect();
+                let b_data: Vec<f32> = (0..n * w).map(|_| rng.gauss() as f32).collect();
+                let mean: Vec<f32> = (0..w).map(|_| rng.gauss() as f32).collect();
+                let a = Matrix::from_slice(rows, w, &a_data);
+                let b = Matrix::from_slice(n, w, &b_data);
+                let centered_data: Vec<f32> = a
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| x - mean[i % w])
+                    .collect();
+                let centered = Matrix::from_slice(rows, w, &centered_data);
+                let mut expect = Matrix::default();
+                centered.matmul_t_into(&b, &mut expect);
+                let mut got = Matrix::from_slice(1, 1, &[5.0]);
+                a.centered_matmul_t_into(&mean, &b, &mut got);
+                let eb: Vec<u32> = expect.data().iter().map(|x| x.to_bits()).collect();
+                let gb: Vec<u32> = got.data().iter().map(|x| x.to_bits()).collect();
+                assert_eq!(gb, eb, "{rows}x{w} by {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_bit_matches_scalar_row_dots() {
+        let mut rng = Prng::new(31);
+        // Cover the 8-wide blocks and every remainder lane (rows % 8).
+        for rows in [1usize, 3, 7, 8, 9, 16, 19, 64] {
+            for cols in [1usize, 5, 8, 33] {
+                let data: Vec<f32> = (0..rows * cols).map(|_| rng.gauss() as f32).collect();
+                let m = Matrix::from_slice(rows, cols, &data);
+                let v: Vec<f32> = (0..cols).map(|_| rng.gauss() as f32).collect();
+                let expect: Vec<u32> = (0..rows)
+                    .map(|r| {
+                        let mut acc = 0.0f32;
+                        for (a, b) in v.iter().zip(m.row(r)) {
+                            acc += a * b;
+                        }
+                        acc.to_bits()
+                    })
+                    .collect();
+                // Dirty, wrongly-sized output buffer must be reshaped.
+                let mut out = vec![9.0f32; 3];
+                m.matvec_into(&v, &mut out);
+                let got: Vec<u32> = out.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, expect, "{rows}x{cols}");
+            }
+        }
+    }
+
     #[test]
     fn copy_from_and_reset_reuse_capacity() {
         let src = Matrix::from_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
@@ -548,6 +940,19 @@ mod tests {
         let mut sums = vec![7.0; 9];
         src.col_sums_into(&mut sums);
         assert_eq!(sums, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gather_rows_from_selects_in_index_order() {
+        let src = Matrix::from_slice(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut dst = Matrix::zeros(9, 9);
+        dst.gather_rows_from(&src, &[3, 0, 3]);
+        assert_eq!(
+            dst,
+            Matrix::from_slice(3, 2, &[7.0, 8.0, 1.0, 2.0, 7.0, 8.0])
+        );
+        dst.gather_rows_from(&src, &[]);
+        assert_eq!(dst.rows(), 0);
     }
 
     #[test]

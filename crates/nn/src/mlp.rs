@@ -109,6 +109,15 @@ impl Clone for EarlyExitMlp {
     }
 }
 
+/// Ping-pong activation buffers for the allocation-free inference
+/// entry points ([`EarlyExitMlp::predict_with_scratch`]). One instance
+/// serves any number of forward passes; buffers reshape on first use.
+#[derive(Clone, Debug, Default)]
+pub struct InferScratch {
+    ping: Matrix,
+    pong: Matrix,
+}
+
 /// Preallocated buffers reused by every [`EarlyExitMlp::train_batch`]
 /// call, so steady-state SGD retraining performs zero heap
 /// allocations: forward activations and pre-activations per trunk
@@ -203,6 +212,70 @@ impl EarlyExitMlp {
         self.probabilities(inputs, exit).argmax_rows()
     }
 
+    /// [`Self::predict`] through caller-provided ping-pong buffers: no
+    /// input clone, no per-layer allocation, softmax in place. The
+    /// forward kernels and the softmax/argmax math are the exact ones
+    /// [`Self::predict`] runs, so predictions are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `exit >= num_exits()`.
+    pub fn predict_with_scratch(
+        &self,
+        inputs: &Matrix,
+        exit: usize,
+        scratch: &mut InferScratch,
+    ) -> Vec<usize> {
+        assert!(exit < self.num_exits(), "exit out of range");
+        let InferScratch { ping, pong } = scratch;
+        self.trunk[0].infer_into(inputs, ping);
+        for layer in &self.trunk[1..=exit] {
+            layer.infer_into(ping, pong);
+            std::mem::swap(ping, pong);
+        }
+        self.heads[exit].infer_into(ping, pong);
+        pong.softmax_rows_inplace();
+        pong.argmax_rows()
+    }
+
+    /// [`Self::predict_with_scratch`] resumed from the first trunk
+    /// layer's output: `features` must be the matrix
+    /// [`Self::features_into`] produced for the same rows (it IS
+    /// `trunk[0]`'s post-activation output, bit for bit), so the pass
+    /// skips that layer and runs the identical remaining ladder —
+    /// predictions are bit-equal to the full input pass at one dense
+    /// layer less. Callers holding cached feature matrices (the drift
+    /// detector's per-period artifacts) use this for their lazy
+    /// prefix-accuracy extensions.
+    ///
+    /// # Panics
+    /// Panics if `exit >= num_exits()` or the feature width mismatches.
+    pub fn predict_from_features_with_scratch(
+        &self,
+        features: &Matrix,
+        exit: usize,
+        scratch: &mut InferScratch,
+    ) -> Vec<usize> {
+        assert!(exit < self.num_exits(), "exit out of range");
+        assert_eq!(
+            features.cols(),
+            self.config.hidden[0],
+            "feature width mismatch"
+        );
+        let InferScratch { ping, pong } = scratch;
+        if exit == 0 {
+            self.heads[0].infer_into(features, pong);
+        } else {
+            self.trunk[1].infer_into(features, ping);
+            for layer in &self.trunk[2..=exit] {
+                layer.infer_into(ping, pong);
+                std::mem::swap(ping, pong);
+            }
+            self.heads[exit].infer_into(ping, pong);
+        }
+        pong.softmax_rows_inplace();
+        pong.argmax_rows()
+    }
+
     /// Fraction of rows classified correctly at the given exit.
     pub fn accuracy(&self, inputs: &Matrix, labels: &[usize], exit: usize) -> f64 {
         assert_eq!(inputs.rows(), labels.len(), "label count mismatch");
@@ -218,6 +291,12 @@ impl EarlyExitMlp {
     /// "feature vector" of a sample by the drift detector (§3.2).
     pub fn features(&self, inputs: &Matrix) -> Matrix {
         self.trunk[0].infer(inputs)
+    }
+
+    /// [`Self::features`] into a caller-owned buffer (reshaped in
+    /// place), for the drift data path's reusable feature matrices.
+    pub fn features_into(&self, inputs: &Matrix, out: &mut Matrix) {
+        self.trunk[0].infer_into(inputs, out);
     }
 
     /// SPINN-style confidence-gated inference \[22\]: each row exits at
@@ -525,6 +604,27 @@ mod tests {
         let pa = a.predict(&batch.inputs, 1);
         let pb = b2.predict(&batch.inputs, 1);
         assert_eq!(pa, pb);
+    }
+
+    /// The scratch-based inference entry points must bit-match their
+    /// allocating counterparts at every exit, with dirty reused buffers.
+    #[test]
+    fn scratch_inference_matches_allocating_paths() {
+        let mut rng = Prng::new(13);
+        let mut net = EarlyExitMlp::new(MlpConfig::small(8, 3), &mut rng);
+        let train = blob_batch(&mut rng, 48, 8);
+        net.train_epochs(&train, 10);
+        let test = blob_batch(&mut rng, 96, 8);
+        let mut scratch = InferScratch::default();
+        for exit in 0..net.num_exits() {
+            let plain = net.predict(&test.inputs, exit);
+            let fast = net.predict_with_scratch(&test.inputs, exit, &mut scratch);
+            assert_eq!(plain, fast, "exit {exit}");
+        }
+        let feats = net.features(&test.inputs);
+        let mut out = Matrix::from_slice(1, 1, &[3.0]);
+        net.features_into(&test.inputs, &mut out);
+        assert_eq!(feats, out);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   1 s window, accuracy per 50 s period, GPU utilization per second).
 //! * [`walltime`] — the single sanctioned host-clock boundary, used only
 //!   for reporting scheduler overhead metrics (never simulated time).
+//! * [`parallel`] — a deterministic scoped-thread fan-out (atomic
+//!   work-index pool + per-slot `OnceLock` writes) for batches of
+//!   independent jobs; results are bit-identical to a sequential loop.
 //!
 //! Nothing in this crate knows about GPUs, DNNs or schedulers.
 
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod parallel;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -1,0 +1,126 @@
+//! Deterministic scoped-thread fan-out over an indexed job set.
+//!
+//! The atomic work-index pool pattern used by the harness's experiment
+//! runner (`run_many`) generalises to any batch of independent jobs:
+//! workers claim job indices from one shared atomic counter and each
+//! writes its result into a dedicated `OnceLock` slot, so results return
+//! in input order without a queue or a results lock. Extracted here so
+//! the drift pipeline's per-`(app, node)` artifact builds can fan out
+//! through the same machinery.
+//!
+//! Determinism: each job's result is a pure function of its index (the
+//! caller guarantees jobs are independent), every index is claimed by
+//! exactly one worker, and the output vector is assembled by index — so
+//! the result is bit-identical to a sequential `(0..n).map(f)` loop
+//! regardless of thread count or OS scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Runs `work(index, state)` for every index in `0..n`, fanning out
+/// across up to `threads` worker threads (0 = one per job, capped at the
+/// available parallelism). Each worker owns one `make_state()` value for
+/// its lifetime, so per-thread scratch buffers are built once per worker
+/// rather than once per job. Results return in index order.
+///
+/// With `threads <= 1` or `n <= 1` the jobs run inline on the caller's
+/// thread — same results, no spawn cost.
+pub fn fan_out_indexed<T, S, M, F>(n: usize, threads: usize, make_state: M, work: F) -> Vec<T>
+where
+    T: Send + Sync,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n)
+    } else {
+        threads.min(n)
+    };
+    if max_threads <= 1 || n == 1 {
+        let mut state = make_state();
+        return (0..n).map(|i| work(i, &mut state)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..max_threads {
+            scope.spawn(|| {
+                let mut state = make_state();
+                loop {
+                    // Each index is claimed by exactly one worker, so the
+                    // matching slot write can never collide.
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let result = work(idx, &mut state);
+                    if slots[idx].set(result).is_err() {
+                        unreachable!("slot {idx} claimed twice");
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        // simlint: allow(no-unwrap-in-lib) — the scoped threads above joined, so every slot was filled
+        .map(|slot| slot.into_inner().expect("every job completed"))
+        .collect()
+}
+
+/// [`fan_out_indexed`] without per-worker state.
+pub fn fan_out<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    fan_out_indexed(n, threads, || (), |i, ()| work(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_in_order() {
+        let seq: Vec<u64> = (0..97).map(|i| (i as u64).wrapping_mul(31)).collect();
+        for threads in [0, 1, 2, 5, 64] {
+            let par = fan_out(97, threads, |i| (i as u64).wrapping_mul(31));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_are_fine() {
+        assert!(fan_out(0, 4, |i| i).is_empty());
+        assert_eq!(fan_out(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        // Each worker's state counts the jobs it ran; the total over all
+        // returned (job, state-before) pairs must cover every job once.
+        let results = fan_out_indexed(
+            50,
+            4,
+            || 0usize,
+            |i, ran: &mut usize| {
+                *ran += 1;
+                i
+            },
+        );
+        let mut sorted = results.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_eq!(results, (0..50).collect::<Vec<_>>(), "input order kept");
+    }
+}

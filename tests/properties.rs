@@ -377,14 +377,15 @@ proptest! {
         // Lazily extending the cached entry's prefix-sums (in chunks)
         // must land on the eager build's values bit-for-bit.
         if let Some(art) = cache.get_mut(0, node) {
+            let mut scratch = DetectScratch::default();
             let pool_len = fresh.deviation.len();
             if pool_len > 0 {
-                art.pool_prefix_at(&rt, node, pool_len / 2 + 1);
-                art.pool_prefix_at(&rt, node, pool_len);
+                art.pool_prefix_at(&rt, node, pool_len / 2 + 1, &mut scratch);
+                art.pool_prefix_at(&rt, node, pool_len, &mut scratch);
             }
             let ref_len = fresh.ref_order.len();
             if ref_len > 0 {
-                art.ref_prefix_at(&rt, node, ref_len);
+                art.ref_prefix_at(&rt, node, ref_len, &mut scratch);
             }
             prop_assert_eq!(&art.pool_prefix, &fresh.pool_prefix);
             prop_assert_eq!(&art.ref_prefix, &fresh.ref_prefix);
