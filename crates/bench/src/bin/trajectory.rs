@@ -72,6 +72,7 @@ fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
                 "drift_detect_p99_us",
                 json::num(m.summary().drift_detect_p99_us),
             ),
+            ("worker_threads", json::int(m.worker_threads as u64)),
         ])
     });
     let total_sessions: u64 =

@@ -58,7 +58,8 @@ pub struct DecisionCache {
     pub hits: u64,
     /// Lookups that ran the underlying search.
     pub misses: u64,
-    /// Entries dropped to keep a table within [`TABLE_CAP`].
+    /// Entries dropped to keep a table within the capacity bound
+    /// (`TABLE_CAP`).
     pub evictions: u64,
 }
 

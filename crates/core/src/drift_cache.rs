@@ -27,7 +27,7 @@ use adainf_driftgen::LabeledSamples;
 use adainf_nn::metrics::cosine_distance;
 use adainf_nn::pca::{Pca, PcaScratch};
 use adainf_nn::{InferScratch, Matrix};
-use adainf_simcore::parallel::fan_out_indexed;
+use adainf_simcore::parallel::fan_out_indexed_owned;
 use adainf_simcore::Prng;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
@@ -38,8 +38,11 @@ use std::collections::BTreeMap;
 const PCA_STREAM: u64 = 0xD21F_7000;
 
 /// Everything the drift pipeline needs about one `(app, node)` in one
-/// period, computed in a single pass over the data.
-#[derive(Clone, Debug, Default)]
+/// period, computed in a single pass over the data. `PartialEq`
+/// compares the rankings exactly and the matrices element-wise — the
+/// parallel ≡ sequential property tests additionally assert `to_bits`
+/// equality on the float payloads to rule out signed-zero drift.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DriftArtifacts {
     /// Pool-sample indices by descending deviation from the old training
     /// data (§3.2) — a permutation of `0..pool.len()`.
@@ -482,9 +485,12 @@ pub fn build_artifacts(
     artifacts
 }
 
-/// One stale prebuild job: its `(app, node)` slot, the key to build at
-/// and the warm-start input resolved for it.
-type PrebuildJob = ((usize, usize), (u64, u64), Option<Matrix>);
+/// One stale prebuild job: its `(app, node)` slot, the key to build at,
+/// the warm-start input resolved for it and the old-feature carry taken
+/// from the evicted entry. The job **owns** both matrices, so the
+/// fan-out can move each job wholesale to exactly one worker — no
+/// shared slot, no lock.
+type PrebuildJob = ((usize, usize), (u64, u64), Option<Matrix>, Matrix);
 
 /// One cache slot: the tag it was built for, the warm-start input that
 /// build consumed, and the artifacts themselves.
@@ -557,7 +563,7 @@ impl CacheEntry {
 /// tagged with `(pool generation, model version)`; a tag mismatch
 /// rebuilds in place, so the map never outgrows `apps × nodes` entries.
 /// Rebuilds warm-start their PCA fit from the previous period's basis
-/// when the model version is unchanged (see [`CacheEntry::warm_for`]).
+/// when the model version is unchanged (see `CacheEntry::warm_for`).
 #[derive(Clone, Debug)]
 pub struct DriftCache {
     entries: BTreeMap<(usize, usize), CacheEntry>,
@@ -648,7 +654,7 @@ impl DriftCache {
     }
 
     /// Builds every stale `(app, node)` entry in `jobs` concurrently
-    /// through the [`adainf_simcore::parallel`] work-index pool, so a
+    /// through the [`adainf_simcore::parallel`] owned fan-out, so a
     /// period boundary pays max-over-nodes build latency instead of the
     /// sum. Entries that are already current are skipped (they will hit
     /// on the next [`Self::artifacts`] lookup).
@@ -675,12 +681,12 @@ impl DriftCache {
         // Resolve the stale subset, each build's warm input and its
         // old-feature carry first; the fan-out then only runs pure
         // builds. The carries are *taken out of* the previous period's
-        // entries on the caller's thread (each job owns its buffer), so
-        // same-period builds never feed each other. Each fan-out job
-        // claims its carry through an uncontended per-job mutex — the
-        // work-index pool dispatches every index exactly once.
+        // entries on the caller's thread and moved **into their jobs**,
+        // so same-period builds never feed each other and each worker
+        // receives exclusive ownership of its carries through the
+        // owned fan-out's per-slot deal — index-addressed handoff, no
+        // per-build lock traffic.
         let mut stale: Vec<PrebuildJob> = Vec::new();
-        let mut carries: Vec<std::sync::Mutex<Matrix>> = Vec::new();
         for &(app, node) in jobs {
             let rt = &apps[app];
             let key = (rt.period(), rt.models[node].version());
@@ -691,31 +697,28 @@ impl DriftCache {
                         Some(e) => (e.warm_for(key), e.take_carry(key)),
                         None => (None, Matrix::default()),
                     };
-                    stale.push(((app, node), key, warm));
-                    carries.push(std::sync::Mutex::new(carry));
+                    stale.push(((app, node), key, warm, carry));
                 }
             }
         }
-        let built = fan_out_indexed(
-            stale.len(),
+        let built = fan_out_indexed_owned(
+            stale,
             threads,
             DetectScratch::default,
-            |i, scratch: &mut DetectScratch| {
-                let ((app, node), _, warm) = &stale[i];
-                // simlint: allow(no-unwrap-in-lib) — a poisoned mutex means a sibling build panicked; propagating is correct
-                let carry = std::mem::take(&mut *carries[i].lock().expect("carry mutex poisoned"));
-                build_ranked(
-                    &apps[*app],
-                    *node,
+            |_, ((app, node), key, warm, carry): PrebuildJob, scratch: &mut DetectScratch| {
+                let artifacts = build_ranked(
+                    &apps[app],
+                    node,
                     pca_components,
                     root,
                     scratch,
                     warm.as_ref(),
                     carry,
-                )
+                );
+                ((app, node), key, warm, artifacts)
             },
         );
-        for ((slot, key, warm), artifacts) in stale.into_iter().zip(built) {
+        for (slot, key, warm, artifacts) in built {
             self.misses += 1;
             self.warm_starts += u64::from(warm.is_some());
             self.entries.insert(

@@ -174,6 +174,14 @@ pub trait Scheduler {
     fn drift_period_ns(&self) -> &[u64] {
         &[]
     }
+
+    /// Largest resolved worker-thread count the scheduler's parallel
+    /// fan-outs actually ran with (after the ambient
+    /// `available_parallelism` fallback), or 0 if it never fanned out.
+    /// Bench rows record it so results document their host parallelism.
+    fn worker_threads(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use crate::space::{
 };
 use crate::timealloc::{allocate_time, clamp_slices, plan_time, select_structures, strategies};
 use adainf_apps::{AppRuntime, AppSpec};
+use adainf_simcore::parallel;
 use adainf_simcore::walltime::WallTimer;
 use adainf_simcore::{Prng, SimDuration, SimTime};
 use std::sync::Arc;
@@ -74,6 +75,10 @@ pub struct AdaInfScheduler {
     /// detection and retraining-order selection share one feature/PCA/
     /// ranking computation per `(app, node, period, model version)`.
     drift: DriftCache,
+    /// Largest resolved worker-thread count used by any parallel drift
+    /// prebuild this run (0 when no fan-out ran). Bench rows record it so
+    /// results document the host parallelism they were measured under.
+    worker_threads: usize,
 }
 
 impl AdaInfScheduler {
@@ -91,6 +96,7 @@ impl AdaInfScheduler {
         AdaInfScheduler {
             config,
             profiler: profiler.into(),
+            // simlint: allow(prng-stream-discipline) — the scheduler's ctor IS its seed boundary: callers hand it the run seed, and the xor-label keeps its stream disjoint from the harness's
             rng: Prng::new(seed ^ 0x000A_DA1F),
             specs,
             states: vec![AppState::default(); n],
@@ -102,6 +108,7 @@ impl AdaInfScheduler {
             drift_period_ns: Vec::new(),
             cache: DecisionCache::default(),
             drift,
+            worker_threads: 0,
         }
     }
 
@@ -184,6 +191,10 @@ impl Scheduler for AdaInfScheduler {
         &self.drift_period_ns
     }
 
+    fn worker_threads(&self) -> usize {
+        self.worker_threads
+    }
+
     fn on_period_start(
         &mut self,
         apps: &mut [AppRuntime],
@@ -203,6 +214,7 @@ impl Scheduler for AdaInfScheduler {
                 states,
                 last_reports,
                 drift,
+                worker_threads,
                 ..
             } = self;
             // Build this period's artifacts concurrently before the
@@ -221,6 +233,8 @@ impl Scheduler for AdaInfScheduler {
                         }
                     }
                 }
+                *worker_threads =
+                    (*worker_threads).max(parallel::resolved_threads(jobs.len(), 0));
                 drift.prebuild(&jobs, apps, config.pca_components, rng, 0);
             }
             for (a, rt) in apps.iter_mut().enumerate() {

@@ -60,6 +60,10 @@ pub struct RunMetrics {
     /// schedulers that track it — the distribution behind
     /// [`Summary::drift_detect_p99_us`]. Empty otherwise.
     pub drift_detect_period_us: Vec<f64>,
+    /// Largest resolved worker-thread count the scheduler's parallel
+    /// fan-outs ran with (after the ambient `available_parallelism`
+    /// fallback inside `fan_out_indexed`); 0 when nothing fanned out.
+    pub worker_threads: usize,
     /// Total requests served.
     pub total_requests: u64,
     /// Retraining samples consumed per (app, node), cumulative.
@@ -133,6 +137,7 @@ impl RunMetrics {
             cache_evictions: 0,
             drift_detect_ns: 0,
             drift_detect_period_us: Vec::new(),
+            worker_threads: 0,
             total_requests: 0,
             retrain_samples: node_counts.iter().map(|&n| vec![0; n]).collect(),
             per_app_latency: node_counts
@@ -228,6 +233,7 @@ impl RunMetrics {
                 / 1e3
                 / self.period_overhead.count().max(1) as f64,
             drift_detect_p99_us: self.drift_detect_p99_us(),
+            worker_threads: self.worker_threads,
             shed_requests: self.shed_requests,
             degraded_jobs: self.degraded_jobs,
             fault_sessions: self.fault_sessions,
@@ -345,6 +351,9 @@ pub struct Summary {
     /// p99 per-period drift wall time (µs) — the period-boundary stall
     /// tail (0 for schedulers without per-period tracking).
     pub drift_detect_p99_us: f64,
+    /// Resolved worker-thread count of the scheduler's parallel fan-outs
+    /// (0 when none ran) — documents the host parallelism of this row.
+    pub worker_threads: usize,
     /// Requests shed by admission control (0 without faults).
     pub shed_requests: u64,
     /// Jobs served degraded after reload give-up (0 without faults).
@@ -377,6 +386,7 @@ impl Summary {
             ("cache_evictions", json::int(self.cache_evictions)),
             ("drift_detect_us", json::num(self.drift_detect_us)),
             ("drift_detect_p99_us", json::num(self.drift_detect_p99_us)),
+            ("worker_threads", json::int(self.worker_threads as u64)),
             ("shed_requests", json::int(self.shed_requests)),
             ("degraded_jobs", json::int(self.degraded_jobs)),
             ("fault_sessions", json::int(self.fault_sessions)),

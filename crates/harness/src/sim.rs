@@ -255,6 +255,7 @@ const REPLAY_CAP: usize = 1024;
 impl Simulation {
     /// Builds a run from its configuration.
     pub fn new(config: RunConfig) -> Self {
+        // simlint: allow(prng-stream-discipline) — the run's seed boundary: RunConfig.seed enters the system exactly here; everything below receives split children
         let root = Prng::new(config.seed);
         let specs: Arc<[AppSpec]> = apps_for_count(config.num_apps).into();
         let arrival = ArrivalConfig {
@@ -1068,6 +1069,7 @@ impl Simulation {
             .iter()
             .map(|&ns| ns as f64 / 1e3)
             .collect();
+        self.metrics.worker_threads = self.scheduler.worker_threads();
         if let Some(chaos) = &self.chaos {
             self.metrics.storm_evictions = chaos.mem.stats().pressure_evictions;
         }

@@ -58,6 +58,7 @@ impl Prng {
         for w in self.s {
             acc = splitmix64(&mut acc) ^ w.rotate_left(17);
         }
+        // simlint: allow(prng-stream-discipline) — split() IS the sanctioned child-derivation the rule points everyone at; the mixed state is seed-derived, not ambient
         Prng::new(acc)
     }
 

@@ -1,27 +1,38 @@
 //! `simlint.toml` parsing.
 //!
-//! The allowlist format is a deliberately tiny TOML subset (this crate
-//! is std-only, so no toml dependency): one `[allow]` table whose keys
-//! are rule ids and whose values are arrays of workspace-relative path
-//! prefixes. A prefix ending in `/` allowlists a directory subtree — a
-//! *module boundary*, which is the granularity the project wants
-//! (never line numbers):
+//! The config format is a deliberately tiny TOML subset (this crate
+//! is std-only, so no toml dependency) with two tables:
 //!
-//! ```toml
-//! [allow]
-//! # why: …
-//! no-wall-clock = [
-//!     "crates/simcore/src/walltime.rs",
-//!     "crates/bench/",
-//! ]
-//! ```
+//! * `[allow]` — rule id → array of workspace-relative path prefixes.
+//!   A prefix ending in `/` allowlists a directory subtree — a *module
+//!   boundary*, which is the granularity the project wants (never line
+//!   numbers):
+//!
+//!   ```toml
+//!   [allow]
+//!   # why: …
+//!   no-wall-clock = [
+//!       "crates/simcore/src/walltime.rs",
+//!       "crates/bench/",
+//!   ]
+//!   ```
+//!
+//! * `[hot]` — quoted file path → array of function names whose bodies
+//!   the hot-path-alloc rule keeps allocation-free:
+//!
+//!   ```toml
+//!   [hot]
+//!   "crates/nn/src/matrix.rs" = ["matmul_into", "add_assign_scaled"]
+//!   ```
 
 use std::collections::BTreeMap;
 
-/// Parsed allowlist: rule id → path prefixes.
+/// Parsed config: the `[allow]` path-prefix allowlist per rule, and the
+/// `[hot]` zero-alloc function registry per file.
 #[derive(Clone, Debug, Default)]
 pub struct Config {
     allow: BTreeMap<String, Vec<String>>,
+    hot: BTreeMap<String, Vec<String>>,
 }
 
 /// A malformed `simlint.toml` line.
@@ -40,22 +51,22 @@ impl std::fmt::Display for ConfigError {
 }
 
 impl Config {
-    /// Parses the allowlist text.
+    /// Parses the config text.
     pub fn parse(text: &str) -> Result<Config, ConfigError> {
         let mut config = Config::default();
-        let mut in_allow = false;
-        let mut pending: Option<(String, String, u32)> = None; // (rule, buffer, start line)
+        let mut section: Option<Section> = None;
+        let mut pending: Option<(Section, String, String, u32)> = None; // (section, key, buffer, start line)
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx as u32 + 1;
             let line = strip_comment(raw).trim().to_string();
 
-            if let Some((rule, mut buffer, start)) = pending.take() {
+            if let Some((sect, key, mut buffer, start)) = pending.take() {
                 buffer.push_str(&line);
                 if line.contains(']') {
-                    config.insert(&rule, &buffer, start)?;
+                    config.insert(sect, &key, &buffer, start)?;
                 } else {
-                    pending = Some((rule, buffer, start));
+                    pending = Some((sect, key, buffer, start));
                 }
                 continue;
             }
@@ -63,69 +74,84 @@ impl Config {
                 continue;
             }
             if line.starts_with('[') {
-                in_allow = line == "[allow]";
-                if !in_allow {
-                    return Err(ConfigError {
-                        line: lineno,
-                        message: format!("unknown section {line}; only [allow] is supported"),
-                    });
-                }
+                section = match line.as_str() {
+                    "[allow]" => Some(Section::Allow),
+                    "[hot]" => Some(Section::Hot),
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!(
+                                "unknown section {line}; only [allow] and [hot] are supported"
+                            ),
+                        });
+                    }
+                };
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(ConfigError {
                     line: lineno,
-                    message: format!("expected `rule = [\"path\", …]`, got `{line}`"),
+                    message: format!("expected `key = [\"…\", …]`, got `{line}`"),
                 });
             };
-            if !in_allow {
+            let Some(sect) = section else {
                 return Err(ConfigError {
                     line: lineno,
-                    message: "entries must live under [allow]".to_string(),
+                    message: "entries must live under [allow] or [hot]".to_string(),
                 });
-            }
-            let rule = key.trim().to_string();
+            };
+            let key = unquote_key(key.trim(), sect, lineno)?;
             let value = value.trim().to_string();
             if value.contains(']') {
-                config.insert(&rule, &value, lineno)?;
+                config.insert(sect, &key, &value, lineno)?;
             } else {
-                pending = Some((rule, value, lineno));
+                pending = Some((sect, key, value, lineno));
             }
         }
-        if let Some((rule, _, start)) = pending {
+        if let Some((_, key, _, start)) = pending {
             return Err(ConfigError {
                 line: start,
-                message: format!("unclosed array for rule {rule}"),
+                message: format!("unclosed array for {key}"),
             });
         }
         Ok(config)
     }
 
-    fn insert(&mut self, rule: &str, array: &str, line: u32) -> Result<(), ConfigError> {
+    fn insert(
+        &mut self,
+        section: Section,
+        key: &str,
+        array: &str,
+        line: u32,
+    ) -> Result<(), ConfigError> {
         let inner = array
             .trim()
             .strip_prefix('[')
             .and_then(|s| s.trim_end().strip_suffix(']'))
             .ok_or_else(|| ConfigError {
                 line,
-                message: format!("value for {rule} must be a [\"…\"] array"),
+                message: format!("value for {key} must be a [\"…\"] array"),
             })?;
-        let mut paths = Vec::new();
+        let mut items = Vec::new();
         for piece in inner.split(',') {
             let piece = piece.trim();
             if piece.is_empty() {
                 continue;
             }
-            let path = piece
+            let item = piece
                 .strip_prefix('"')
                 .and_then(|s| s.strip_suffix('"'))
                 .ok_or_else(|| ConfigError {
                     line,
-                    message: format!("array items for {rule} must be quoted strings"),
+                    message: format!("array items for {key} must be quoted strings"),
                 })?;
-            paths.push(path.to_string());
+            items.push(item.to_string());
         }
-        self.allow.entry(rule.to_string()).or_default().extend(paths);
+        let table = match section {
+            Section::Allow => &mut self.allow,
+            Section::Hot => &mut self.hot,
+        };
+        table.entry(key.to_string()).or_default().extend(items);
         Ok(())
     }
 
@@ -147,6 +173,41 @@ impl Config {
     /// Rule ids that have at least one allowlist entry (for `--explain`).
     pub fn rules_with_entries(&self) -> impl Iterator<Item = &str> {
         self.allow.keys().map(String::as_str)
+    }
+
+    /// The zero-alloc function names registered under `[hot]` for
+    /// `path` (exact file match), if any.
+    pub fn hot_fns(&self, path: &str) -> Option<&[String]> {
+        self.hot.get(path).map(Vec::as_slice)
+    }
+
+    /// All `[hot]` entries, for self-check validation that every listed
+    /// file and function still exists.
+    pub fn hot_entries(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.hot.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+/// Which table an entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Section {
+    Allow,
+    Hot,
+}
+
+/// `[allow]` keys are bare rule ids; `[hot]` keys are quoted file paths
+/// (they contain `/` and `.`, which bare TOML keys cannot).
+fn unquote_key(key: &str, section: Section, line: u32) -> Result<String, ConfigError> {
+    match section {
+        Section::Allow => Ok(key.to_string()),
+        Section::Hot => key
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .map(str::to_string)
+            .ok_or_else(|| ConfigError {
+                line,
+                message: format!("[hot] keys must be quoted file paths, got `{key}`"),
+            }),
     }
 }
 
@@ -190,6 +251,31 @@ no-unwrap-in-lib = [
         assert!(Config::parse("[deny]\n").is_err());
         assert!(Config::parse("[allow]\nrule = nope\n").is_err());
         assert!(Config::parse("[allow]\nrule = [\"a\"\n").is_err());
+        assert!(Config::parse("rule = [\"a\"]\n").is_err());
+    }
+
+    #[test]
+    fn parses_hot_table_with_quoted_path_keys() {
+        let toml = r#"
+[hot]
+"crates/nn/src/matrix.rs" = ["matmul_into", "add_assign_scaled"]
+"crates/nn/src/pca.rs" = [
+    "fit_warm_with_scratch", # multi-line, with note
+]
+"#;
+        let c = Config::parse(toml).expect("parses");
+        assert_eq!(
+            c.hot_fns("crates/nn/src/matrix.rs").expect("entry"),
+            &["matmul_into".to_string(), "add_assign_scaled".to_string()]
+        );
+        assert_eq!(
+            c.hot_fns("crates/nn/src/pca.rs").expect("entry"),
+            &["fit_warm_with_scratch".to_string()]
+        );
+        assert!(c.hot_fns("crates/nn/src/lib.rs").is_none());
+        assert_eq!(c.hot_entries().count(), 2);
+        // Bare (unquoted) [hot] keys are rejected.
+        assert!(Config::parse("[hot]\ncrates/x.rs = [\"f\"]\n").is_err());
     }
 
     #[test]

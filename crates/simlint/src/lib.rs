@@ -9,12 +9,20 @@
 //! `file:line: rule-id: message` diagnostics and a non-zero exit on
 //! violation.
 //!
+//! Rules run over two views of each file: the raw token stream
+//! ([`lexer`]) and a structural scope tree layered on it ([`scope`]) —
+//! which function/closure/test region a token sits in, whether a
+//! closure is an argument to a `fan_out*` call, and item-level
+//! `// simlint: allow(rule)` annotations.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p simlint                # lint the whole workspace
 //! cargo run -p simlint -- a.rs b.rs  # lint specific files, all rules on
+//! cargo run -p simlint -- --format=json   # machine-readable diagnostics
 //! cargo run -p simlint -- --list-rules
+//! cargo run -p simlint -- --explain no-adhoc-threading
 //! ```
 //!
 //! The allowlist lives in `simlint.toml` at the workspace root (path
@@ -30,6 +38,7 @@
 pub mod config;
 pub mod lexer;
 pub mod rules;
+pub mod scope;
 
 use config::Config;
 use rules::Diagnostic;

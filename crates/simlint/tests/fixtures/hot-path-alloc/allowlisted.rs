@@ -1,0 +1,9 @@
+//! Fixture: an item-level annotation with the amortization argument —
+//! the one sanctioned shape for an allocation inside a hot function.
+// simlint: allow(hot-path-alloc) — grows once to the high-water mark, then amortizes to zero per call
+pub fn matmul_into(out: &mut Vec<f32>, xs: &[f32]) {
+    if out.len() < xs.len() {
+        *out = xs.to_vec();
+    }
+    out[0] = xs[0];
+}

@@ -1,0 +1,13 @@
+//! Fixture: the zero-alloc discipline — the hot function writes into
+//! the caller-provided output and scratch; allocation happens once, in
+//! the cold setup path that sizes the scratch.
+pub fn matmul_into(out: &mut [f32], xs: &[f32], scratch: &mut [f32]) {
+    for (s, x) in scratch.iter_mut().zip(xs) {
+        *s = *x * 2.0;
+    }
+    out[0] = scratch[0];
+}
+
+pub fn make_scratch(n: usize) -> Vec<f32> {
+    std::iter::repeat(0.0).take(n).collect()
+}

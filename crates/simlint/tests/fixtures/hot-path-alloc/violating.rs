@@ -1,0 +1,8 @@
+//! Fixture: an allocation sneaking back into a `[hot]`-listed function.
+//! The fixture test registers `matmul_into` under
+//! `[hot] "crates/nn/src/fixture.rs"`; the temporary defeats the
+//! scratch-buffer discipline the perf work established.
+pub fn matmul_into(out: &mut [f32], xs: &[f32]) {
+    let tmp = xs.to_vec();
+    out[0] = tmp[0];
+}

@@ -1,0 +1,7 @@
+//! Fixture: an inline-annotated spawn whose invariant is documented —
+//! e.g. a watchdog thread in tooling code that never touches simulated
+//! state.
+pub fn spawn_watchdog(work: impl FnOnce() + Send + 'static) {
+    // simlint: allow(no-adhoc-threading) — watchdog owns no simulated state; it only signals the harness on timeout
+    std::thread::spawn(work);
+}

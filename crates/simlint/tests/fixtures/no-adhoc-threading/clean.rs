@@ -1,0 +1,7 @@
+//! Fixture: parallelism expressed through the race-checked fan-outs,
+//! which own all thread spawning inside simcore/src/parallel.rs.
+use adainf_simcore::parallel::fan_out;
+
+pub fn square_all(xs: &[u64]) -> Vec<u64> {
+    fan_out(xs, 0, |x| x * x)
+}

@@ -1,5 +1,5 @@
-//! Fixture: randomness threaded from an explicit seed.
-pub fn jitter(seed: u64) -> u64 {
-    let mut prng = adainf_simcore::Prng::new(seed);
-    prng.next_u64()
+//! Fixture: randomness threaded from the caller's Prng stream.
+pub fn jitter(rng: &adainf_simcore::Prng) -> u64 {
+    let mut child = rng.split(0x4A17);
+    child.next_u64()
 }

@@ -1,0 +1,7 @@
+//! Fixture: an inline-annotated reduction whose order is fixed by a
+//! caller contract the statement cannot show.
+pub fn total(samples: impl Iterator<Item = f64>) -> f64 {
+    let acc = samples;
+    // simlint: allow(no-nondet-float-reduction) — caller contract: samples arrive in ascending node-index order
+    acc.sum()
+}

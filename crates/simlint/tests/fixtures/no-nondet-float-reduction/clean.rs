@@ -1,0 +1,10 @@
+//! Fixture: structurally ordered reductions — the `.iter()`/`.map()`
+//! chain in the same statement witnesses a fixed iteration order, so
+//! the float sum is reproducible bit-for-bit.
+pub fn norm_sq(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum()
+}
+
+pub fn weighted(v: &[f64], w: &[f64]) -> f64 {
+    v.iter().zip(w).map(|(x, y)| x * y).fold(0.0, |a, b| a + b)
+}

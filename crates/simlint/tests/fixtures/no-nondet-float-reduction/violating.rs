@@ -1,0 +1,7 @@
+//! Fixture: a float reduction over an iterator handed in from
+//! elsewhere — the iteration order (and so the result bits) is decided
+//! at every call site, invisibly to this reduction.
+pub fn total(samples: impl Iterator<Item = f64>) -> f64 {
+    let acc = samples;
+    acc.sum()
+}

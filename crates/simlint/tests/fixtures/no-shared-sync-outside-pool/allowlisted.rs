@@ -1,0 +1,8 @@
+//! Fixture: an item-level annotation — the allow above the function
+//! excuses the construct throughout its body, with the determinism
+//! argument stated once.
+// simlint: allow(no-shared-sync-outside-pool) — table is immutable after first build; its value is a pure function of constants
+pub fn kernel_table() -> &'static [u32] {
+    static TABLE: std::sync::OnceLock<Vec<u32>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| (0..16u32).collect())
+}

@@ -1,0 +1,8 @@
+//! Fixture: a shared-mutability primitive in a deterministic crate.
+//! Results must flow through index-addressed per-slot writes owned by
+//! simcore::parallel, not through lock-ordered shared state.
+use std::sync::Mutex;
+
+pub struct CarrySlots {
+    pub slots: Vec<Mutex<Vec<f32>>>,
+}

@@ -1,0 +1,9 @@
+//! Fixture: an item-level annotation. This library function IS the
+//! sanctioned seed boundary for its subsystem, so the allow sits on the
+//! item and covers its whole body, naming the invariant.
+use adainf_simcore::Prng;
+
+// simlint: allow(prng-stream-discipline) — calibration's seed boundary; the run seed enters here exactly once
+pub fn calibration_stream(run_seed: u64) -> Prng {
+    Prng::new(run_seed ^ 0xCA11)
+}

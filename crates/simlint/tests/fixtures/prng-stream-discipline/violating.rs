@@ -1,0 +1,8 @@
+//! Fixture: a second root Prng stream constructed inside library code.
+//! The run seed must enter once, at the bin/test entry point; library
+//! functions accept a Prng (or a split child) from the caller.
+use adainf_simcore::Prng;
+
+pub fn jitter_stream() -> Prng {
+    Prng::new(7)
+}

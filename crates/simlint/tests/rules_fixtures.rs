@@ -30,6 +30,18 @@ const CASES: &[(&str, &str, &str)] = &[
     ("float-env-guard", "violating.rs", "crates/nn/src/fixture.rs"),
     ("float-env-guard", "clean.rs", "crates/nn/src/fixture.rs"),
     ("float-env-guard", "allowlisted.rs", "crates/nn/src/fixture.rs"),
+    ("prng-stream-discipline", "violating.rs", "crates/core/src/fixture.rs"),
+    ("prng-stream-discipline", "clean.rs", "crates/core/src/fixture.rs"),
+    ("prng-stream-discipline", "allowlisted.rs", "crates/core/src/fixture.rs"),
+    ("no-adhoc-threading", "violating.rs", "crates/harness/src/fixture.rs"),
+    ("no-adhoc-threading", "clean.rs", "crates/harness/src/fixture.rs"),
+    ("no-adhoc-threading", "allowlisted.rs", "crates/harness/src/fixture.rs"),
+    ("no-shared-sync-outside-pool", "violating.rs", "crates/core/src/fixture.rs"),
+    ("no-shared-sync-outside-pool", "clean.rs", "crates/core/src/fixture.rs"),
+    ("no-shared-sync-outside-pool", "allowlisted.rs", "crates/core/src/fixture.rs"),
+    ("no-nondet-float-reduction", "violating.rs", "crates/core/src/fixture.rs"),
+    ("no-nondet-float-reduction", "clean.rs", "crates/core/src/fixture.rs"),
+    ("no-nondet-float-reduction", "allowlisted.rs", "crates/core/src/fixture.rs"),
 ];
 
 fn fixture(rule: &str, file: &str) -> String {
@@ -83,6 +95,38 @@ fn violating_fixtures_fail_in_unscoped_mode_too() {
             "{rule}/{file} unscoped: expected a {rule} diagnostic, got {diags:?}"
         );
     }
+}
+
+#[test]
+fn hot_path_alloc_fixture_trio_under_a_hot_table() {
+    // hot-path-alloc only arms for functions registered under [hot], so
+    // its trio runs with a config naming the fixture's pretend path.
+    let pretend = "crates/nn/src/fixture.rs";
+    let config = Config::parse(&format!("[hot]\n\"{pretend}\" = [\"matmul_into\"]\n"))
+        .expect("valid hot table");
+    for file in ["violating.rs", "clean.rs", "allowlisted.rs"] {
+        let source = fixture("hot-path-alloc", file);
+        let diags = lint_source(pretend, &source, &config, true);
+        let of_rule: Vec<_> = diags.iter().filter(|d| d.rule == "hot-path-alloc").collect();
+        if file == "violating.rs" {
+            assert!(!of_rule.is_empty(), "{file}: expected a finding, got {diags:?}");
+        } else {
+            assert!(of_rule.is_empty(), "{file}: expected none, got {of_rule:?}");
+        }
+        assert!(
+            diags.iter().all(|d| d.rule == "hot-path-alloc"),
+            "{file}: tripped unrelated rules: {diags:?}"
+        );
+    }
+    // Without a [hot] entry the rule stays silent even on the violating
+    // fixture — allocation is only policed where the registry says so.
+    let diags = lint_source(
+        pretend,
+        &fixture("hot-path-alloc", "violating.rs"),
+        &Config::default(),
+        true,
+    );
+    assert!(diags.is_empty(), "unarmed hot rule must stay silent: {diags:?}");
 }
 
 #[test]

@@ -324,6 +324,70 @@ fn small_drifted_runtime(seed: u64, periods: usize) -> AppRuntime {
     rt
 }
 
+/// The real drift-artifact build is schedule-invariant: for three seeds,
+/// [`fan_out_check`] replays the per-(app, node) build under forced
+/// claim-order permutations at 1/2/4/8 workers and asserts bit-equality
+/// with the sequential loop, and [`DriftCache::prebuild`] at every one
+/// of those thread counts must land on the same artifact bits.
+#[test]
+fn drift_prebuild_survives_adversarial_schedules() {
+    use adainf::simcore::parallel::fan_out_check;
+
+    for seed in [11u64, 97, 2024] {
+        let apps = [
+            small_drifted_runtime(seed, 1),
+            small_drifted_runtime(seed ^ 0x5EED, 2),
+        ];
+        let jobs: Vec<(usize, usize)> = apps
+            .iter()
+            .enumerate()
+            .flat_map(|(a, rt)| (0..rt.spec.nodes.len()).map(move |n| (a, n)))
+            .collect();
+        let root = Prng::new(seed ^ 0xFA2_0A7);
+
+        // Layer 1+2: production pool and forced schedule replays over
+        // the real per-node artifact build, all bit-equal to sequential.
+        let reference = fan_out_check(
+            seed,
+            3,
+            &[1, 2, 4, 8],
+            jobs.len(),
+            DetectScratch::default,
+            |i, scratch| {
+                let (app, node) = jobs[i];
+                build_artifacts(&apps[app], node, 8, &root, scratch)
+            },
+        );
+
+        // Layer 3: the production prebuild entry point at each worker
+        // count reproduces the same rankings, basis and carried
+        // features bit-for-bit (prefix-sums are lazily extended, so
+        // only the eagerly-built fields are compared).
+        for threads in [1usize, 2, 4, 8] {
+            let mut cache = DriftCache::new(true);
+            cache.prebuild(&jobs, &apps, 8, &root, threads);
+            for (j, &(app, node)) in jobs.iter().enumerate() {
+                let art = cache.get(app, node).unwrap_or_else(|| {
+                    panic!("prebuild({threads}) missing ({app}, {node})")
+                });
+                let want = &reference[j];
+                assert_eq!(art.deviation, want.deviation, "deviation @{threads}t");
+                assert_eq!(art.retrain, want.retrain, "retrain @{threads}t");
+                assert_eq!(art.ref_order, want.ref_order, "ref_order @{threads}t");
+                let bits = |m: &Matrix| -> Vec<u32> {
+                    m.data().iter().map(|v| v.to_bits()).collect()
+                };
+                assert_eq!(bits(&art.basis), bits(&want.basis), "basis bits @{threads}t");
+                assert_eq!(
+                    bits(&art.pool_features),
+                    bits(&want.pool_features),
+                    "pool_features bits @{threads}t"
+                );
+            }
+        }
+    }
+}
+
 // Drift-artifact-cache properties run far fewer cases: each case builds
 // and trains a full multi-model runtime.
 proptest! {
