@@ -73,6 +73,25 @@ fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
                 json::num(m.summary().drift_detect_p99_us),
             ),
             ("worker_threads", json::int(m.worker_threads as u64)),
+            // Predictor calibration trajectory columns: mean forecast
+            // error, its first/last run-quartile split (convergence),
+            // and the fraction of predicted-to-fit jobs that violated.
+            (
+                "predicted_latency_mae_us",
+                json::num(m.summary().predicted_latency_mae_us),
+            ),
+            (
+                "predicted_rel_err_first_q",
+                json::num(m.predicted_rel_err_quartile(0)),
+            ),
+            (
+                "predicted_rel_err_last_q",
+                json::num(m.predicted_rel_err_quartile(3)),
+            ),
+            (
+                "headroom_violation_rate",
+                json::num(m.summary().headroom_violation_rate),
+            ),
         ])
     });
     let total_sessions: u64 =
@@ -102,7 +121,14 @@ fn main() {
     let t0 = Instant::now();
     let mut runs = Vec::new();
     for config in [
-        base.with_method(Method::AdaInf(AdaInfConfig::default())),
+        // The predictor rides along on the AdaInf run: pristine runs
+        // are bit-identical with it on (admission only fires in fault
+        // windows — pinned by tests/golden.rs), and the calibration
+        // columns below need its observation stream.
+        base.with_method(Method::AdaInf(AdaInfConfig {
+            predicted_latency: true,
+            ..AdaInfConfig::default()
+        })),
         base.with_method(Method::Ekya),
         base.with_method(Method::Scrooge),
     ] {
@@ -160,6 +186,45 @@ fn main() {
                 s.drift_detect_us
             );
             std::process::exit(1);
+        }
+    }
+
+    // Bench-smoke guard: the calibration columns must be present and
+    // finite for every suite (schedulers without a predictor report an
+    // exact 0.0), and the AdaInf predictor must actually converge over
+    // the run — last-quartile relative error strictly below the first
+    // quartile's warm-up error.
+    for r in &runs {
+        let s = r.metrics.summary();
+        if !s.predicted_latency_mae_us.is_finite()
+            || !s.headroom_violation_rate.is_finite()
+        {
+            eprintln!(
+                "[trajectory] FAIL: {} calibration columns not finite \
+                 (mae {}, violation rate {})",
+                s.name, s.predicted_latency_mae_us, s.headroom_violation_rate
+            );
+            std::process::exit(1);
+        }
+        if s.name == "AdaInf" {
+            let first = r.metrics.predicted_rel_err_quartile(0);
+            let last = r.metrics.predicted_rel_err_quartile(3);
+            if s.predicted_latency_mae_us <= 0.0 {
+                eprintln!(
+                    "[trajectory] FAIL: AdaInf predictor never scored a \
+                     forecast (mae {})",
+                    s.predicted_latency_mae_us
+                );
+                std::process::exit(1);
+            }
+            if last >= first {
+                eprintln!(
+                    "[trajectory] FAIL: AdaInf predictor did not converge: \
+                     first-quartile relative error {first:.4} ≤ \
+                     last-quartile {last:.4}"
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

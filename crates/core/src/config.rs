@@ -47,6 +47,21 @@ pub struct AdaInfConfig {
     /// is keyed by `(period, node)` child streams, so cached and rebuilt
     /// artifacts are bit-identical — purely a performance switch.
     pub drift_artifact_cache: bool,
+    /// Admit against *learned* latency forecasts instead of the analytic
+    /// inputs: an online per-app ridge regressor (see [`crate::predict`])
+    /// streams an observation from every completed job, and once warm its
+    /// predicted `fixed`/`per_batch` replace the analytic values inside
+    /// the SLO-aware admission decision. Default **off**: the pristine
+    /// goldens pin the analytic path, and calibration metrics
+    /// (`predicted_latency_mae_us`, `headroom_violation_rate`) are only
+    /// collected when this is on. Turning it on does not perturb
+    /// fault-free behaviour — admission still only runs inside fault
+    /// windows — so pristine runs stay bit-identical either way.
+    pub predicted_latency: bool,
+    /// Observations each app's latency model needs before its forecasts
+    /// are used; below this the admission path falls back to the
+    /// analytic inputs bit-exactly.
+    pub predictor_warmup: u32,
     /// Build the period's drift artifacts concurrently (one scoped-thread
     /// fan-out over all stale `(app, node)` entries) before the detection
     /// sweep reads them. Each build is an independent pure function of
@@ -91,6 +106,8 @@ impl Default for AdaInfConfig {
             joint_batch_space: false,
             decision_cache: true,
             drift_artifact_cache: true,
+            predicted_latency: false,
+            predictor_warmup: 64,
             drift_parallel_build: true,
             use_impact_degrees: true,
             update_dag_each_period: true,

@@ -8,9 +8,13 @@
 //! harness applies on impaired sessions:
 //!
 //! * **SLO-aware admission control** ([`admit_within_slo`]) — extend the
-//!   serial-queue frame-shedding logic to overload: admit only the
-//!   request prefix whose batches can still finish inside the SLO and
-//!   shed the rest up front, freeing their service time.
+//!   serial-queue frame-shedding logic to overload: admit the request
+//!   prefix whose batches — including a final *partial* batch, whose
+//!   service time is proportionally shorter — still finish inside the
+//!   SLO, and shed the rest up front, freeing their service time. The
+//!   `fixed`/`per_batch` inputs are analytic by default; with
+//!   [`AdaInfConfig::predicted_latency`](crate::AdaInfConfig) on, the
+//!   harness feeds learned forecasts from [`crate::predict`] instead.
 //! * **Inference-only fallback** ([`should_shed_retraining`]) — when the
 //!   spare time a plan reserved for retraining has collapsed, drop the
 //!   retraining slices (their samples stay in the pool for calmer
@@ -67,11 +71,18 @@ pub struct Admission {
 ///
 /// `fixed` is the latency already committed before the first batch
 /// completes (queueing wait + retraining time + reload communication);
-/// `per_batch` the service time of one batch of `batch` requests. Since
-/// batches complete sequentially, batch `i` finishes at
-/// `fixed + per_batch·(i+1)`: the number of batches that fit is
-/// `⌊(slo − fixed) / per_batch⌋`, and partial batches past that point
-/// would miss, so admission is rounded down to whole batches.
+/// `per_batch` the service time of one *full* batch of `batch`
+/// requests. Since batches complete sequentially, full batch `i`
+/// finishes at `fixed + per_batch·(i+1)`: `⌊(slo − fixed) / per_batch⌋`
+/// whole batches fit. A final partial batch of `k < batch` requests
+/// takes only `per_batch·k/batch`, so after the whole batches the
+/// remaining budget admits up to `⌊rem·batch/per_batch⌋` tail requests
+/// — admission is *not* rounded down to whole batches.
+///
+/// Degenerate profiles: when `fixed` alone exceeds the SLO everything
+/// is shed, and a zero `per_batch` (a profile whose service time
+/// rounds to nothing) admits everything that survives the `fixed`
+/// check instead of being silently clamped to 1 µs.
 pub fn admit_within_slo(
     n: u32,
     batch: u32,
@@ -85,10 +96,30 @@ pub fn admit_within_slo(
             shed: 0,
         };
     }
-    let budget = slo.saturating_sub(fixed);
-    let per_batch_us = per_batch.as_micros().max(1);
-    let max_batches = budget.as_micros() / per_batch_us;
-    let cap = max_batches.saturating_mul(batch.max(1) as u64);
+    if fixed > slo {
+        // Even a zero-service job finishes late: shed everything.
+        return Admission {
+            admitted: 0,
+            shed: n,
+        };
+    }
+    let budget_us = slo.saturating_sub(fixed).as_micros();
+    let per_batch_us = per_batch.as_micros();
+    if per_batch_us == 0 {
+        // Zero service time per batch: every request fits.
+        return Admission {
+            admitted: n,
+            shed: 0,
+        };
+    }
+    let batch = batch.max(1) as u64;
+    let whole_batches = budget_us / per_batch_us;
+    let rem_us = budget_us - whole_batches * per_batch_us;
+    // Partial tail: k requests of a final short batch fit when
+    // per_batch·k/batch ≤ rem, i.e. k ≤ rem·batch/per_batch (and
+    // k < batch by construction, since rem < per_batch).
+    let tail = rem_us.saturating_mul(batch) / per_batch_us;
+    let cap = whole_batches.saturating_mul(batch).saturating_add(tail);
     let admitted = (n as u64).min(cap) as u32;
     Admission {
         admitted,
@@ -129,14 +160,21 @@ impl ReloadState {
     }
 
     /// Records one failed reload (the parameters were evicted again
-    /// before the next session). Returns `false` exactly when this
-    /// failure exhausts the budget of `max_retries`.
+    /// before the next session). Returns `false` exactly when *this*
+    /// failure exhausts the budget of `max_retries` — the give-up
+    /// transition edge, so callers counting give-ups count each one
+    /// once. Failures recorded after the budget is already exhausted
+    /// (callers normally gate on [`Self::gave_up`] and never do this)
+    /// are not a new transition and return `true`; the degraded state
+    /// itself is queried through [`Self::gave_up`], not the return
+    /// value.
     pub fn record_failure(&mut self, max_retries: u32) -> bool {
+        let already_gave_up = self.gave_up;
         self.attempts = self.attempts.saturating_add(1);
         if self.attempts > max_retries {
             self.gave_up = true;
         }
-        !self.gave_up
+        !self.gave_up || already_gave_up
     }
 
     /// Records a reload that stuck (parameters still resident): the
@@ -162,11 +200,13 @@ mod tests {
     #[test]
     fn admission_is_exact_at_batch_edges() {
         // 10 ms per batch of 16, 100 ms budget after 20 ms fixed →
-        // 10 whole batches fit → 160 requests.
+        // 10 whole batches fit exactly → 160 requests, no tail room.
         let adm = admit_within_slo(200, 16, ms(10), ms(20), ms(120));
         assert_eq!(adm.admitted, 160);
         assert_eq!(adm.shed, 40);
-        // One microsecond short of the budget drops a whole batch.
+        // One microsecond short: 9 whole batches (144) plus the partial
+        // tail that fits the 9999 µs remainder — ⌊9999·16/10000⌋ = 15
+        // requests at 625 µs each.
         let adm2 = admit_within_slo(
             200,
             16,
@@ -174,7 +214,64 @@ mod tests {
             ms(20),
             ms(120) - SimDuration::from_micros(1),
         );
-        assert_eq!(adm2.admitted, 144);
+        assert_eq!(adm2.admitted, 159);
+        assert_eq!(adm2.shed, 41);
+    }
+
+    #[test]
+    fn admission_admits_the_partial_tail_that_fits() {
+        // 10 ms per batch of 16, 95 ms budget → 9 whole batches (144)
+        // plus ⌊5000·16/10000⌋ = 8 tail requests.
+        let adm = admit_within_slo(200, 16, ms(10), ms(0), ms(95));
+        assert_eq!(adm.admitted, 152);
+        assert_eq!(adm.shed, 48);
+        // The arrivals may end inside the tail: 150 arrivals all fit.
+        let adm2 = admit_within_slo(150, 16, ms(10), ms(0), ms(95));
+        assert_eq!(adm2.admitted, 150);
+        assert_eq!(adm2.shed, 0);
+        // A budget below one full batch still admits the prefix that
+        // fits: ⌊2500·16/10000⌋ = 4 requests.
+        let adm3 = admit_within_slo(200, 16, ms(10), ms(0), SimDuration::from_micros(2500));
+        assert_eq!(adm3.admitted, 4);
+    }
+
+    #[test]
+    fn admission_boundary_budgets_are_exact() {
+        // Tail request boundary: k requests fit iff per_batch·k/batch ≤
+        // rem. With per_batch 16 ms, batch 16 → 1 ms per request.
+        let adm = admit_within_slo(40, 16, ms(16), ms(0), ms(19));
+        assert_eq!(adm.admitted, 19, "exactly 1 whole batch + 3 tail");
+        let adm2 = admit_within_slo(
+            40,
+            16,
+            ms(16),
+            ms(0),
+            ms(19) - SimDuration::from_micros(1),
+        );
+        assert_eq!(adm2.admitted, 18, "1 µs short drops one tail request");
+        // Fixed exactly at the SLO: zero budget, everything sheds.
+        let adm3 = admit_within_slo(40, 16, ms(10), ms(400), ms(400));
+        assert_eq!((adm3.admitted, adm3.shed), (0, 40));
+    }
+
+    #[test]
+    fn zero_per_batch_profiles_admit_within_fixed() {
+        // A degenerate profile whose batch service time rounds to zero:
+        // everything the fixed check admits fits (no silent 1 µs clamp).
+        let adm = admit_within_slo(200, 16, SimDuration::ZERO, ms(10), ms(400));
+        assert_eq!((adm.admitted, adm.shed), (200, 0));
+        // Zero budget left but also zero service time: still all admitted.
+        let adm2 = admit_within_slo(200, 16, SimDuration::ZERO, ms(400), ms(400));
+        assert_eq!((adm2.admitted, adm2.shed), (200, 0));
+        // Fixed alone late: all shed, even with zero service time.
+        let adm3 = admit_within_slo(
+            200,
+            16,
+            SimDuration::ZERO,
+            ms(400) + SimDuration::from_micros(1),
+            ms(400),
+        );
+        assert_eq!((adm3.admitted, adm3.shed), (0, 200));
     }
 
     #[test]
@@ -220,5 +317,23 @@ mod tests {
         assert!(s.gave_up());
         s.reset();
         assert!(!s.gave_up());
+    }
+
+    #[test]
+    fn post_give_up_failures_are_not_new_transitions() {
+        let mut s = ReloadState::default();
+        // One tolerated failure within the budget of one retry...
+        assert!(s.record_failure(1));
+        // ...then the second failure exhausts it: the one `false`.
+        assert!(!s.record_failure(1));
+        assert!(s.gave_up());
+        // Failures recorded after give-up stay given-up but are not the
+        // exhausting transition — a caller counting give-ups by the
+        // `false` return counts exactly one.
+        for _ in 0..3 {
+            assert!(s.record_failure(1));
+            assert!(s.gave_up());
+        }
+        assert_eq!(s.attempts(), 5);
     }
 }

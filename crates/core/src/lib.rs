@@ -35,6 +35,10 @@
 //! * [`degrade`] — graceful-degradation decisions for overloaded
 //!   sessions: SLO-aware admission control, inference-only fallback and
 //!   bounded reload retry, driven by the harness's fault injection.
+//! * [`predict`] — online per-application latency prediction (streaming
+//!   ridge regression) and the SLO-headroom scorer that feeds learned
+//!   `fixed`/`per_batch` forecasts into [`degrade`]'s admission when
+//!   [`AdaInfConfig::predicted_latency`] is on.
 //! * [`config`] — all tunables (α, `A_m`, `S`…) and the ablation switches
 //!   (/I, /U, /S, /E, /M1, /M2 of §5.2).
 //! * [`cache`] — exact memoisation of the per-session scheduling
@@ -51,6 +55,7 @@ pub mod drift_cache;
 pub mod drift_detect;
 pub mod incremental;
 pub mod plan;
+pub mod predict;
 pub mod profiler;
 pub mod regression;
 pub mod ridag;
@@ -61,4 +66,5 @@ pub mod timealloc;
 pub use config::AdaInfConfig;
 pub use degrade::DegradePolicy;
 pub use plan::{JobPlan, PeriodPlan, RetrainSlice, Scheduler, SessionCtx};
+pub use predict::{LatencyFeatures, LatencyPredictor, PredictedLatency};
 pub use scheduler::AdaInfScheduler;

@@ -13,6 +13,7 @@
 //!   per application job: GPU fraction, request batch size, per-model
 //!   structure cuts and retraining slices.
 
+use crate::predict::{LatencyFeatures, PredictedLatency};
 use adainf_apps::AppRuntime;
 use adainf_gpusim::{EvictionPolicyKind, ExecMode, GpuSpec};
 use adainf_simcore::{SimDuration, SimTime};
@@ -181,6 +182,41 @@ pub trait Scheduler {
     /// Bench rows record it so results document their host parallelism.
     fn worker_threads(&self) -> usize {
         0
+    }
+
+    /// Whether this scheduler runs an online latency predictor (see
+    /// [`crate::predict`]). When `false` — the default — the harness
+    /// builds no feature vectors and makes no predictor calls, so runs
+    /// stay bit-identical to builds without the machinery.
+    fn predictor_enabled(&self) -> bool {
+        false
+    }
+
+    /// Forecasts the latency of one job shape from the scheduler's
+    /// online model, or `None` when the scheduler has no predictor or
+    /// the app's model is still warming up (callers then fall back to
+    /// their analytic inputs).
+    fn predict_latency(
+        &self,
+        app: usize,
+        feats: &LatencyFeatures,
+    ) -> Option<PredictedLatency> {
+        let _ = (app, feats);
+        None
+    }
+
+    /// Streams one completed job's observed latency split
+    /// (`per_batch_us` service time of a full batch, `fixed_us`
+    /// pre-batch overhead) into the scheduler's online model. No-op for
+    /// schedulers without a predictor.
+    fn observe_latency(
+        &mut self,
+        app: usize,
+        feats: &LatencyFeatures,
+        per_batch_us: f64,
+        fixed_us: f64,
+    ) {
+        let _ = (app, feats, per_batch_us, fixed_us);
     }
 }
 

@@ -17,6 +17,7 @@ use crate::drift_cache::DriftCache;
 use crate::drift_detect::{detect_drift_cached, DriftReport};
 use crate::incremental::RetrainProgress;
 use crate::plan::{AppPeriodPlan, JobPlan, PeriodPlan, Scheduler, SessionCtx};
+use crate::predict::{LatencyFeatures, LatencyPredictor, PredictedLatency};
 use crate::profiler::Profiler;
 use crate::ridag::RiDag;
 use crate::space::{
@@ -79,6 +80,9 @@ pub struct AdaInfScheduler {
     /// prebuild this run (0 when no fan-out ran). Bench rows record it so
     /// results document the host parallelism they were measured under.
     worker_threads: usize,
+    /// Online per-app latency predictor (see [`crate::predict`]), built
+    /// only when [`AdaInfConfig::predicted_latency`] is on.
+    predictor: Option<LatencyPredictor>,
 }
 
 impl AdaInfScheduler {
@@ -93,6 +97,9 @@ impl AdaInfScheduler {
         let specs = specs.into();
         let n = specs.len();
         let drift = DriftCache::new(config.drift_artifact_cache);
+        let predictor = config
+            .predicted_latency
+            .then(|| LatencyPredictor::new(n, config.predictor_warmup as u64));
         AdaInfScheduler {
             config,
             profiler: profiler.into(),
@@ -109,6 +116,7 @@ impl AdaInfScheduler {
             cache: DecisionCache::default(),
             drift,
             worker_threads: 0,
+            predictor,
         }
     }
 
@@ -193,6 +201,30 @@ impl Scheduler for AdaInfScheduler {
 
     fn worker_threads(&self) -> usize {
         self.worker_threads
+    }
+
+    fn predictor_enabled(&self) -> bool {
+        self.predictor.is_some()
+    }
+
+    fn predict_latency(
+        &self,
+        app: usize,
+        feats: &LatencyFeatures,
+    ) -> Option<PredictedLatency> {
+        self.predictor.as_ref()?.predict(app, feats)
+    }
+
+    fn observe_latency(
+        &mut self,
+        app: usize,
+        feats: &LatencyFeatures,
+        per_batch_us: f64,
+        fixed_us: f64,
+    ) {
+        if let Some(p) = self.predictor.as_mut() {
+            p.observe(app, feats, per_batch_us, fixed_us);
+        }
     }
 
     fn on_period_start(

@@ -28,36 +28,57 @@ pub struct Scenario {
     /// Documented lower bound on the mean finish rate: the scenario
     /// *violates its bound* — and the suite fails — below this.
     pub finish_floor: f64,
+    /// Run with `AdaInfConfig::predicted_latency` on: admission decides
+    /// from the online latency predictor's forecasts once warm, and the
+    /// outcome carries the calibration columns.
+    pub predicted: bool,
 }
 
 /// The scenario catalogue, with the floors documented in
 /// EXPERIMENTS.md. A pristine control run (no faults) rides along at
 /// the front so collapse is measured against the same configuration.
-pub const SCENARIOS: [Scenario; 5] = [
+pub const SCENARIOS: [Scenario; 6] = [
     Scenario {
         name: "control",
         spec: FaultSpec::none,
         finish_floor: 0.60,
+        predicted: false,
     },
     Scenario {
         name: "rate-burst",
         spec: FaultSpec::rate_burst,
         finish_floor: 0.35,
+        predicted: false,
     },
     Scenario {
         name: "memory-pressure",
         spec: FaultSpec::memory_pressure,
         finish_floor: 0.35,
+        predicted: false,
     },
     Scenario {
         name: "pool-starvation",
         spec: FaultSpec::pool_starvation,
         finish_floor: 0.50,
+        predicted: false,
     },
     Scenario {
         name: "device-stall",
         spec: FaultSpec::device_stall,
         finish_floor: 0.30,
+        predicted: false,
+    },
+    // The same stall windows with predicted-latency admission: the
+    // stall is a regime change the online model must track — service
+    // times inflate, forecasts lag, then the forgetting factor pulls
+    // them back. The floor documents that admission on a temporarily
+    // mis-calibrated model still degrades instead of collapsing, and
+    // the outcome's calibration columns show the re-convergence.
+    Scenario {
+        name: "device-stall-predicted",
+        spec: FaultSpec::device_stall,
+        finish_floor: 0.30,
+        predicted: true,
     },
 ];
 
@@ -84,6 +105,17 @@ pub struct ChaosOutcome {
     pub storm_evictions: u64,
     /// Pool samples destroyed by starvation.
     pub starved_samples: u64,
+    /// Mean |forecast − outcome| of the latency predictor, µs (0 when
+    /// the scenario ran without one).
+    pub predicted_latency_mae_us: f64,
+    /// Fraction of predicted-to-fit jobs that blew their SLO anyway.
+    pub headroom_violation_rate: f64,
+    /// Mean *relative* forecast error over the run's first and last
+    /// session quartiles — re-convergence evidence: the stall inflates
+    /// early error, the forgetting factor pulls the tail back down.
+    pub predicted_rel_err_first_q: f64,
+    /// See [`Self::predicted_rel_err_first_q`].
+    pub predicted_rel_err_last_q: f64,
 }
 
 /// The configuration every scenario runs under: short horizon (chaos
@@ -107,6 +139,12 @@ pub fn suite_config(seed: u64) -> RunConfig {
 /// Runs one scenario at `seed` and evaluates its bound.
 pub fn run_scenario(scenario: &Scenario, seed: u64) -> ChaosOutcome {
     let mut cfg = suite_config(seed);
+    if scenario.predicted {
+        cfg.method = Method::AdaInf(AdaInfConfig {
+            predicted_latency: true,
+            ..AdaInfConfig::default()
+        });
+    }
     let spec = (scenario.spec)(seed);
     if !spec.is_empty() {
         cfg.chaos = Some(ChaosConfig::scenario(spec));
@@ -128,6 +166,10 @@ fn outcome(scenario: &Scenario, m: &RunMetrics) -> ChaosOutcome {
         eviction_storms: m.eviction_storms,
         storm_evictions: m.storm_evictions,
         starved_samples: m.starved_samples,
+        predicted_latency_mae_us: m.predicted_latency_mae_us(),
+        headroom_violation_rate: m.headroom_violation_rate(),
+        predicted_rel_err_first_q: m.predicted_rel_err_quartile(0),
+        predicted_rel_err_last_q: m.predicted_rel_err_quartile(3),
     }
 }
 
@@ -143,14 +185,14 @@ pub fn run_suite(seed: u64) -> Vec<ChaosOutcome> {
 pub fn report(outcomes: &[ChaosOutcome]) -> String {
     let mut out = String::new();
     out.push_str(
-        "| scenario | finish | floor | ok | shed | degraded | fault sessions | storms | storm evictions | starved |\n",
+        "| scenario | finish | floor | ok | shed | degraded | fault sessions | storms | storm evictions | starved | pred MAE µs | headroom viol |\n",
     );
     out.push_str(
-        "|---|---|---|---|---|---|---|---|---|---|\n",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|\n",
     );
     for o in outcomes {
         out.push_str(&format!(
-            "| {} | {:.4} | {:.2} | {} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {:.4} | {:.2} | {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.4} |\n",
             o.name,
             o.finish_rate,
             o.finish_floor,
@@ -161,6 +203,8 @@ pub fn report(outcomes: &[ChaosOutcome]) -> String {
             o.eviction_storms,
             o.storm_evictions,
             o.starved_samples,
+            o.predicted_latency_mae_us,
+            o.headroom_violation_rate,
         ));
     }
     out

@@ -102,6 +102,24 @@ pub struct RunMetrics {
     /// Communication time injected by fault handling (storm writebacks
     /// and parameter reloads), ms per affected session.
     pub fault_comm: OnlineStats,
+    /// Absolute error of the online latency forecast per predicted job
+    /// (|predicted − actual| last-batch completion, µs). Empty unless
+    /// the scheduler runs a predictor (`predicted_latency` on).
+    pub pred_abs_err_us: OnlineStats,
+    /// *Relative* forecast error (|predicted − actual| / actual),
+    /// bucketed by session-index quartile of the run — the predictor's
+    /// convergence trajectory (the trajectory bench asserts the last
+    /// quartile beats the first). Relative, not µs: job latencies grow
+    /// over a run as drift brings retraining load, so absolute error
+    /// scales with the workload while relative error isolates model
+    /// quality.
+    pub pred_rel_err_quartiles: [OnlineStats; 4],
+    /// Jobs whose forecast had non-negative SLO headroom (predicted to
+    /// fit).
+    pub headroom_predicted_fit: u64,
+    /// Predicted-fit jobs whose *actual* last batch finished past the
+    /// SLO — forecast optimism the headroom policy acted on.
+    pub headroom_violations: u64,
 }
 
 impl RunMetrics {
@@ -158,6 +176,10 @@ impl RunMetrics {
             reload_gave_up: 0,
             starved_samples: 0,
             fault_comm: OnlineStats::new(),
+            pred_abs_err_us: OnlineStats::new(),
+            pred_rel_err_quartiles: std::array::from_fn(|_| OnlineStats::new()),
+            headroom_predicted_fit: 0,
+            headroom_violations: 0,
         }
     }
 
@@ -181,23 +203,64 @@ impl RunMetrics {
     }
 
     /// `(p50, p95, p99)` end-to-end job latency of one application, ms.
+    /// Out-of-range apps (callers iterating a foreign app list) yield
+    /// all-zero percentiles instead of a panic; in debug builds the
+    /// index is asserted so harness bugs still surface.
     pub fn latency_percentiles(&self, app: usize) -> (f64, f64, f64) {
-        let h = &self.per_app_latency[app];
+        debug_assert!(
+            app < self.per_app_latency.len(),
+            "app {app} out of range ({} apps)",
+            self.per_app_latency.len()
+        );
+        let Some(h) = self.per_app_latency.get(app) else {
+            return (0.0, 0.0, 0.0);
+        };
         (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99))
     }
 
     /// p99 per-period drift wall time (µs), nearest-rank over the
     /// per-period samples; 0 when the scheduler tracks no per-period
     /// drift times. The tail matters more than the mean here: one slow
-    /// period boundary stalls every session of that period.
+    /// period boundary stalls every session of that period. Selection
+    /// (O(n)) instead of a full sort: the one ranked element is all the
+    /// nearest-rank definition needs.
     pub fn drift_detect_p99_us(&self) -> f64 {
         if self.drift_detect_period_us.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.drift_detect_period_us.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let rank = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        let mut samples = self.drift_detect_period_us.clone();
+        let rank = ((0.99 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let (_, nth, _) = samples.select_nth_unstable_by(rank - 1, |a, b| a.total_cmp(b));
+        *nth
+    }
+
+    /// Mean absolute error of the latency forecast over the run, µs
+    /// (0 when no predictor ran).
+    pub fn predicted_latency_mae_us(&self) -> f64 {
+        if self.pred_abs_err_us.count() == 0 {
+            0.0
+        } else {
+            self.pred_abs_err_us.mean()
+        }
+    }
+
+    /// Mean relative forecast error within one session-index quartile
+    /// of the run (0 when the quartile saw no predictions).
+    pub fn predicted_rel_err_quartile(&self, quartile: usize) -> f64 {
+        self.pred_rel_err_quartiles
+            .get(quartile)
+            .filter(|s| s.count() > 0)
+            .map_or(0.0, |s| s.mean())
+    }
+
+    /// Share of predicted-fit jobs whose actual completion violated the
+    /// SLO anyway (0 when no job was predicted to fit).
+    pub fn headroom_violation_rate(&self) -> f64 {
+        if self.headroom_predicted_fit == 0 {
+            0.0
+        } else {
+            self.headroom_violations as f64 / self.headroom_predicted_fit as f64
+        }
     }
 
     /// Decision-cache hit rate over the run (0 when no cache ran).
@@ -237,6 +300,8 @@ impl RunMetrics {
             shed_requests: self.shed_requests,
             degraded_jobs: self.degraded_jobs,
             fault_sessions: self.fault_sessions,
+            predicted_latency_mae_us: self.predicted_latency_mae_us(),
+            headroom_violation_rate: self.headroom_violation_rate(),
         }
     }
 }
@@ -360,6 +425,12 @@ pub struct Summary {
     pub degraded_jobs: u64,
     /// Sessions inside an active fault window (0 without faults).
     pub fault_sessions: u64,
+    /// Mean absolute error of the online latency forecast (µs; 0 when
+    /// no predictor ran).
+    pub predicted_latency_mae_us: f64,
+    /// Share of predicted-fit jobs that actually missed their SLO
+    /// (0 when no predictor ran).
+    pub headroom_violation_rate: f64,
 }
 
 impl Summary {
@@ -390,6 +461,14 @@ impl Summary {
             ("shed_requests", json::int(self.shed_requests)),
             ("degraded_jobs", json::int(self.degraded_jobs)),
             ("fault_sessions", json::int(self.fault_sessions)),
+            (
+                "predicted_latency_mae_us",
+                json::num(self.predicted_latency_mae_us),
+            ),
+            (
+                "headroom_violation_rate",
+                json::num(self.headroom_violation_rate),
+            ),
         ])
     }
 }
@@ -414,6 +493,61 @@ mod tests {
         let json = s.to_json();
         assert!(json.contains("\"name\": \"AdaInf\""));
         assert!(json.contains("\"total_requests\": 0"));
+    }
+
+    #[test]
+    fn drift_p99_is_nearest_rank() {
+        let mut m = RunMetrics::new("x".into(), &[1]);
+        // n = 0: no samples, 0 by definition.
+        assert_eq!(m.drift_detect_p99_us(), 0.0);
+        // n = 1: ceil(0.99·1) = 1 → the sole sample.
+        m.drift_detect_period_us = vec![42.0];
+        assert_eq!(m.drift_detect_p99_us(), 42.0);
+        // n = 2: ceil(1.98) = 2 → the larger sample, whatever the order.
+        m.drift_detect_period_us = vec![90.0, 10.0];
+        assert_eq!(m.drift_detect_p99_us(), 90.0);
+        // n = 100: ceil(99) = 99 → the 99th smallest of 1..=100.
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        // Shuffle deterministically (reverse + interleave) so selection
+        // does not get pre-sorted input.
+        v.reverse();
+        v.swap(0, 57);
+        v.swap(3, 91);
+        m.drift_detect_period_us = v;
+        assert_eq!(m.drift_detect_p99_us(), 99.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_bounds_checked_in_release() {
+        let m = RunMetrics::new("x".into(), &[2]);
+        // In-range app on an empty histogram: zeros.
+        assert_eq!(m.latency_percentiles(0), (0.0, 0.0, 0.0));
+        // Out-of-range app: zeros instead of a panic (debug builds
+        // assert instead — this test documents the release contract).
+        #[cfg(not(debug_assertions))]
+        assert_eq!(m.latency_percentiles(7), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn calibration_accessors_handle_empty_and_filled_state() {
+        let mut m = RunMetrics::new("x".into(), &[1]);
+        assert_eq!(m.predicted_latency_mae_us(), 0.0);
+        assert_eq!(m.headroom_violation_rate(), 0.0);
+        assert_eq!(m.predicted_rel_err_quartile(0), 0.0);
+        assert_eq!(m.predicted_rel_err_quartile(9), 0.0, "oob quartile");
+        m.pred_abs_err_us.add(100.0);
+        m.pred_abs_err_us.add(300.0);
+        m.pred_rel_err_quartiles[0].add(0.4);
+        m.pred_rel_err_quartiles[3].add(0.1);
+        m.headroom_predicted_fit = 4;
+        m.headroom_violations = 1;
+        assert_eq!(m.predicted_latency_mae_us(), 200.0);
+        assert_eq!(m.predicted_rel_err_quartile(0), 0.4);
+        assert_eq!(m.predicted_rel_err_quartile(3), 0.1);
+        assert_eq!(m.headroom_violation_rate(), 0.25);
+        let json = m.summary().to_json();
+        assert!(json.contains("\"predicted_latency_mae_us\": 200"));
+        assert!(json.contains("\"headroom_violation_rate\": 0.25"));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use adainf_core::degrade::{
     admit_within_slo, should_shed_retraining, DegradePolicy, ReloadState,
 };
 use adainf_core::plan::{BulkRetrain, Scheduler, SessionCtx};
+use adainf_core::predict::LatencyFeatures;
 use adainf_core::profiler::{CommProfile, Profiler};
 use adainf_core::{AdaInfConfig, AdaInfScheduler};
 use adainf_driftgen::faultgen::FaultWindow;
@@ -625,6 +626,21 @@ impl Simulation {
             None => DegradePolicy::default(),
         };
 
+        // Online latency predictor: when the scheduler runs one, every
+        // completed job below feeds it an observation and calibration
+        // error is recorded — bucketed by run quartile, so the bench can
+        // assert the model converges (first-quartile MAE > last's). When
+        // off (the default) no feature vectors are built at all.
+        let use_pred = self.scheduler.predictor_enabled();
+        let quartile = if use_pred {
+            let sessions =
+                (self.config.duration.as_micros() / SESSION.as_micros()).max(1);
+            let si = t.as_micros() / SESSION.as_micros();
+            ((si * 4 / sessions) as usize).min(3)
+        } else {
+            0
+        };
+
         // Actual arrivals and predictions, into the reused buffers (taken
         // out of `self` so the session context can borrow them while the
         // scheduler and metrics fields stay mutable).
@@ -841,6 +857,37 @@ impl Simulation {
                 continue;
             }
 
+            // The job's feature shape for the latency predictor,
+            // identical at admission-predict and post-completion observe
+            // time (modulo the request count, which admission may cut):
+            // the structure-cut signal enters as the cut's per-sample
+            // compute cost, and the profiled *fault-free* per-batch
+            // estimate rides along as the calibration-regression
+            // baseline. Deliberately unstalled: a device-stall window is
+            // the unobservable regime change the predictor must track
+            // through its observations, not read off the fault state.
+            let structure_flops = cost.flops_per_sample;
+            let analytic_pb_us = if use_pred {
+                if plan.cpu {
+                    self.profiler
+                        .latency
+                        .cpu_inference(&cost, plan.batch)
+                        .as_micros() as f64
+                } else {
+                    self.profiler
+                        .latency
+                        .per_batch_inference(&cost, plan.batch, plan.gpu)
+                        .mul_f64(
+                            self.profiler
+                                .comm
+                                .inflation(plan.exec, plan.eviction),
+                        )
+                        .as_micros() as f64
+                }
+            } else {
+                0.0
+            };
+
             // SLO-aware admission control: under an active fault window,
             // shed up front the requests whose batches cannot finish
             // inside the SLO, so doomed work stops consuming service
@@ -849,10 +896,36 @@ impl Simulation {
             let mut n_served = n;
             if imp.impaired && degrade.admission_control {
                 let n_batches = n.div_ceil(plan.batch.max(1));
-                let per_batch = SimDuration::from_micros(
+                let analytic_per_batch = SimDuration::from_micros(
                     inference.as_micros() / n_batches.max(1) as u64,
                 );
-                let fixed = wait + retrain_time + reload_comm;
+                let analytic_fixed = wait + retrain_time + reload_comm;
+                // Predicted-latency admission: once the app's online
+                // model is warm its forecast replaces the analytic
+                // inputs; below warmup (or with the predictor off) the
+                // analytic path runs bit-exactly.
+                let (per_batch, fixed) = if use_pred {
+                    let feats = LatencyFeatures::new(
+                        n,
+                        plan.batch,
+                        plan.gpu,
+                        structure_flops,
+                        taken_total,
+                        wait.as_micros() as f64,
+                        analytic_pb_us,
+                    );
+                    match self.scheduler.predict_latency(app, &feats) {
+                        Some(p) => (
+                            SimDuration::from_micros(
+                                p.per_batch_us.round() as u64,
+                            ),
+                            SimDuration::from_micros(p.fixed_us.round() as u64),
+                        ),
+                        None => (analytic_per_batch, analytic_fixed),
+                    }
+                } else {
+                    (analytic_per_batch, analytic_fixed)
+                };
                 let adm =
                     admit_within_slo(n, plan.batch, per_batch, fixed, slo);
                 if adm.shed > 0 {
@@ -918,6 +991,53 @@ impl Simulation {
                 .inference_latency
                 .add(inference.as_millis_f64());
             self.metrics.per_app_latency[app].add(job_latency.as_millis_f64());
+
+            // Predictor calibration + online update: forecast the job's
+            // observed shape *before* folding its outcome in (honest
+            // out-of-sample error), then stream the observation so every
+            // completed job trains the model.
+            if use_pred {
+                let feats = LatencyFeatures::new(
+                    n_served,
+                    plan.batch,
+                    plan.gpu,
+                    structure_flops,
+                    taken_total,
+                    wait.as_micros() as f64,
+                    analytic_pb_us,
+                );
+                let actual_fixed_us =
+                    (wait + retrain_time + reload_comm).as_micros() as f64;
+                let actual_per_batch_us = per_batch.as_micros() as f64;
+                let actual_total_us =
+                    actual_fixed_us + actual_per_batch_us * n_batches as f64;
+                if let Some(p) = self.scheduler.predict_latency(app, &feats) {
+                    let err = (p.total_us(n_batches) - actual_total_us).abs();
+                    self.metrics.pred_abs_err_us.add(err);
+                    // Quartile buckets hold the *relative* error of the
+                    // per-batch service-time forecast: it is present in
+                    // every job and scale-free, so it isolates model
+                    // convergence — the total error also carries the
+                    // per-job retraining mix, irreducible noise that
+                    // only appears once drift brings retraining load.
+                    let pb_err = (p.per_batch_us - actual_per_batch_us).abs();
+                    self.metrics.pred_rel_err_quartiles[quartile]
+                        .add(pb_err / actual_per_batch_us.max(1.0));
+                    let slo_us = slo.as_micros() as f64;
+                    if p.headroom_us(slo_us, n_batches) >= 0.0 {
+                        self.metrics.headroom_predicted_fit += 1;
+                        if actual_total_us > slo_us {
+                            self.metrics.headroom_violations += 1;
+                        }
+                    }
+                }
+                self.scheduler.observe_latency(
+                    app,
+                    &feats,
+                    actual_per_batch_us,
+                    actual_fixed_us,
+                );
+            }
 
             // Accuracy: leaf-node predictions against golden labels,
             // weighted by the requests actually served (shed requests

@@ -126,6 +126,36 @@ fn device_stall_degrades_gracefully() {
     assert!(o.passed, "finish {} < {}", o.finish_rate, o.finish_floor);
 }
 
+/// Predicted-latency admission through device-stall windows: the stall
+/// is a regime change the online model must track. The scenario holds
+/// its documented floor (admission on a temporarily mis-calibrated
+/// model degrades instead of collapsing), calibration actually ran, and
+/// the forgetting factor pulls the error back down — last-quartile
+/// relative error beats the first quartile's warm-up-and-stall error.
+#[test]
+fn device_stall_predicted_reconverges() {
+    let o = run_scenario(&SCENARIOS[5], 11);
+    assert_eq!(o.name, "device-stall-predicted");
+    assert!(o.fault_sessions > 0, "no stall window fired");
+    assert!(o.passed, "finish {} < {}", o.finish_rate, o.finish_floor);
+    assert!(
+        o.predicted_latency_mae_us > 0.0 && o.predicted_latency_mae_us.is_finite(),
+        "calibration never ran: MAE {}",
+        o.predicted_latency_mae_us
+    );
+    assert!(
+        (0.0..=1.0).contains(&o.headroom_violation_rate),
+        "violation rate {}",
+        o.headroom_violation_rate
+    );
+    assert!(
+        o.predicted_rel_err_last_q < o.predicted_rel_err_first_q,
+        "no re-convergence: first-quartile rel err {} ≤ last-quartile {}",
+        o.predicted_rel_err_first_q,
+        o.predicted_rel_err_last_q
+    );
+}
+
 /// The parallel drift-artifact build stays invisible with chaos armed:
 /// fault injection perturbs pools, model versions and period timing, and
 /// the fan-out must still reproduce the sequential build bit for bit.

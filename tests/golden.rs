@@ -156,6 +156,52 @@ fn parallel_drift_build_does_not_change_decisions() {
     }
 }
 
+/// Predicted-latency admission must be invisible on pristine runs:
+/// admission only fires inside fault windows, so turning the predictor
+/// on cannot perturb a fault-free run — every AdaInf golden row
+/// reproduces bit for bit — while the calibration stream demonstrably
+/// ran (each completed job fed the model an observation, and post-warmup
+/// forecasts were scored against outcomes).
+#[test]
+fn predictor_on_reproduces_pristine_goldens() {
+    let goldens = [
+        (11u64, 1725130u64, 0.9030360621563216f64, 0.9992656108706952f64),
+        (23, 1518908, 0.9093875812740043, 0.9998909458453026),
+        (47, 1392262, 0.9090062030500701, 0.9991235715669184),
+    ];
+    for &(seed, requests, accuracy, finish) in &goldens {
+        let m = run(config(
+            Method::AdaInf(AdaInfConfig {
+                predicted_latency: true,
+                ..AdaInfConfig::default()
+            }),
+            seed,
+        ));
+        let s = m.summary();
+        assert_eq!(m.total_requests, requests, "seed {seed}: total_requests");
+        assert_eq!(
+            s.mean_accuracy.to_bits(),
+            accuracy.to_bits(),
+            "seed {seed}: mean_accuracy {} != golden {accuracy}",
+            s.mean_accuracy
+        );
+        assert_eq!(
+            s.mean_finish_rate.to_bits(),
+            finish.to_bits(),
+            "seed {seed}: mean_finish_rate {} != golden {finish}",
+            s.mean_finish_rate
+        );
+        assert!(
+            m.pred_abs_err_us.count() > 0,
+            "seed {seed}: predictor never scored a forecast"
+        );
+        assert!(
+            s.predicted_latency_mae_us > 0.0,
+            "seed {seed}: zero MAE is implausible for a learned model"
+        );
+    }
+}
+
 /// The decision cache must be invisible in the results: cache on vs off
 /// yields identical metrics (only the hit counters may differ).
 #[test]

@@ -482,3 +482,96 @@ proptest! {
         prop_assert_eq!((cache.hits, cache.misses), (2, 3));
     }
 }
+
+/// An enabled predictor that never reaches warm-up must fall back to
+/// the analytic admission inputs bit-exactly — checked under chaos,
+/// where admission actually runs on every impaired session, at three
+/// seeds.
+#[test]
+fn unwarmed_predictor_falls_back_to_analytic_bit_exactly() {
+    use adainf::core::AdaInfConfig;
+    use adainf::driftgen::FaultSpec;
+    use adainf::harness::sim::{run, ChaosConfig, Method, RunConfig};
+    use adainf::simcore::SimDuration;
+    let make = |predicted: bool, seed: u64| {
+        let mut cfg = RunConfig {
+            method: Method::AdaInf(AdaInfConfig {
+                predicted_latency: predicted,
+                // Unreachable warm-up: predictions never fire, only the
+                // observation stream runs.
+                predictor_warmup: u32::MAX,
+                ..AdaInfConfig::default()
+            }),
+            seed,
+            num_apps: 3,
+            duration: SimDuration::from_secs(60),
+            ..RunConfig::default()
+        };
+        cfg.chaos = Some(ChaosConfig::scenario(FaultSpec::device_stall(seed)));
+        run(cfg)
+    };
+    for seed in [11u64, 23, 47] {
+        let (on, off) = (make(true, seed), make(false, seed));
+        assert!(on.fault_sessions > 0, "seed {seed}: no stall window fired");
+        assert_eq!(on.total_requests, off.total_requests, "seed {seed}");
+        assert_eq!(on.shed_requests, off.shed_requests, "seed {seed}");
+        let (a, b) = (on.summary(), off.summary());
+        assert_eq!(
+            a.mean_accuracy.to_bits(),
+            b.mean_accuracy.to_bits(),
+            "seed {seed}: mean_accuracy"
+        );
+        assert_eq!(
+            a.mean_finish_rate.to_bits(),
+            b.mean_finish_rate.to_bits(),
+            "seed {seed}: mean_finish_rate"
+        );
+        // Below warm-up the model forecasts nothing, so no calibration
+        // row was ever scored.
+        assert_eq!(a.predicted_latency_mae_us, 0.0, "seed {seed}");
+        assert_eq!(a.headroom_violation_rate, 0.0, "seed {seed}");
+    }
+}
+
+/// With the predictor off — the default — the calibration plumbing is
+/// completely inert for every method: no feature vector is built, no
+/// observation streamed, and the new summary columns are exactly zero,
+/// at three seeds × three methods (arrival totals pin the runs to the
+/// golden seed-engine traces).
+#[test]
+fn predictor_off_is_inert_across_methods_and_seeds() {
+    use adainf::core::AdaInfConfig;
+    use adainf::harness::sim::{run, Method, RunConfig};
+    use adainf::simcore::SimDuration;
+    let methods: [fn() -> Method; 3] = [
+        || Method::AdaInf(AdaInfConfig::default()),
+        || Method::Ekya,
+        || Method::Scrooge,
+    ];
+    let golden_requests = [(11u64, 1725130u64), (23, 1518908), (47, 1392262)];
+    for mk in methods {
+        for (seed, requests) in golden_requests {
+            let m = run(RunConfig {
+                method: mk(),
+                seed,
+                num_apps: 3,
+                duration: SimDuration::from_secs(60),
+                ..RunConfig::default()
+            });
+            let s = m.summary();
+            assert_eq!(
+                m.total_requests, requests,
+                "{} seed {seed}: total_requests",
+                s.name
+            );
+            assert_eq!(
+                m.pred_abs_err_us.count(),
+                0,
+                "{} seed {seed}: calibration ran with the predictor off",
+                s.name
+            );
+            assert_eq!(s.predicted_latency_mae_us, 0.0, "{} seed {seed}", s.name);
+            assert_eq!(s.headroom_violation_rate, 0.0, "{} seed {seed}", s.name);
+        }
+    }
+}
