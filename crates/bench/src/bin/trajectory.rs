@@ -50,11 +50,36 @@ fn drift_ceiling_us() -> f64 {
     DRIFT_DETECT_CEILING_US * (8.0 / cores as f64).max(1.0)
 }
 
+/// Bench-smoke ceiling on AdaInf's mean per-period drift *critical
+/// path* (µs) on the reference ≥ 8-core class: with the overlapped
+/// period pipeline the serving loop pays only snapshot + spawn, the
+/// sequential S-loop sweep (~7 ms) and whatever join waits remain
+/// after the accuracy-value refresh filled the overlap window — the
+/// ~40 ms of artifact builds run behind serving. Budgeted at 10 ms,
+/// ≥ 5× under the pre-overlap inline wall (~97 ms serialized).
+const DRIFT_CRITICAL_CEILING_US: f64 = 10_000.0;
+
+/// The critical-path ceiling for the host running the smoke. Below the
+/// 8-core reference class the background stage timeshares with the
+/// serving loop, so "blocked" time converges on total drift work and
+/// the overlap win is unmeasurable — the guard then falls back to the
+/// (stretched) total-work ceiling, which still catches data-path
+/// regressions.
+fn drift_critical_ceiling_us() -> f64 {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 8 {
+        DRIFT_CRITICAL_CEILING_US
+    } else {
+        drift_ceiling_us()
+    }
+}
+
 fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
     let suites = runs.iter().map(|r| {
         let m = &r.metrics;
+        let s = m.summary();
         let sessions = m.sched_overhead.count();
-        json::object([
+        let mut fields = vec![
             ("name", json::string(&m.name)),
             ("wall_s", json::num(r.wall_s)),
             ("sessions", json::int(sessions)),
@@ -66,19 +91,32 @@ fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
                 "sched_decision_us",
                 json::num(m.sched_overhead.mean() * 1e3),
             ),
-            ("cache_hit_rate", json::num(m.summary().cache_hit_rate)),
-            ("drift_detect_us", json::num(m.summary().drift_detect_us)),
+            ("cache_hit_rate", json::num(s.cache_hit_rate)),
+            // Per-phase wall breakdown: total drift work per period,
+            // the slice of it that actually blocked the serving loop
+            // (the overlap's critical path), and the serve/train walls.
+            ("drift_detect_us", json::num(s.drift_detect_us)),
+            ("drift_detect_p99_us", json::num(s.drift_detect_p99_us)),
             (
-                "drift_detect_p99_us",
-                json::num(m.summary().drift_detect_p99_us),
+                "drift_critical_path_us",
+                json::num(s.drift_critical_path_us),
             ),
-            ("worker_threads", json::int(m.worker_threads as u64)),
-            // Predictor calibration trajectory columns: mean forecast
-            // error, its first/last run-quartile split (convergence),
-            // and the fraction of predicted-to-fit jobs that violated.
+            ("serve_us", json::num(s.serve_us)),
+            ("train_us", json::num(s.train_us)),
+        ];
+        // The resolved pool width, only for suites that ran one: a
+        // pool-less scheduler omits the column rather than reporting a
+        // misleading 0.
+        if let Some(w) = s.worker_threads {
+            fields.push(("worker_threads", json::int(w as u64)));
+        }
+        // Predictor calibration trajectory columns: mean forecast
+        // error, its first/last run-quartile split (convergence),
+        // and the fraction of predicted-to-fit jobs that violated.
+        fields.extend([
             (
                 "predicted_latency_mae_us",
-                json::num(m.summary().predicted_latency_mae_us),
+                json::num(s.predicted_latency_mae_us),
             ),
             (
                 "predicted_rel_err_first_q",
@@ -90,9 +128,10 @@ fn bench_json(scale: Scale, runs: &[TimedRun], total_wall_s: f64) -> String {
             ),
             (
                 "headroom_violation_rate",
-                json::num(m.summary().headroom_violation_rate),
+                json::num(s.headroom_violation_rate),
             ),
-        ])
+        ]);
+        json::object(fields)
     });
     let total_sessions: u64 =
         runs.iter().map(|r| r.metrics.sched_overhead.count()).sum();
@@ -177,6 +216,7 @@ fn main() {
     // period over the whole AdaInf run, compared against the documented
     // ceiling above (stretched for hosts that serialize the fan-out).
     let ceiling = drift_ceiling_us();
+    let critical_ceiling = drift_critical_ceiling_us();
     for r in &runs {
         let s = r.metrics.summary();
         if s.name == "AdaInf" && s.drift_detect_us > ceiling {
@@ -184,6 +224,17 @@ fn main() {
                 "[trajectory] FAIL: AdaInf drift_detect_us {:.0} exceeds the \
                  {ceiling:.0} µs ceiling",
                 s.drift_detect_us
+            );
+            std::process::exit(1);
+        }
+        // The overlapped pipeline's promise: drift work mostly runs
+        // behind serving, so the serving loop's blocked time stays far
+        // under the total drift wall on hosts with cores to spare.
+        if s.name == "AdaInf" && s.drift_critical_path_us > critical_ceiling {
+            eprintln!(
+                "[trajectory] FAIL: AdaInf drift_critical_path_us {:.0} \
+                 exceeds the {critical_ceiling:.0} µs ceiling",
+                s.drift_critical_path_us
             );
             std::process::exit(1);
         }

@@ -69,6 +69,22 @@ pub struct AdaInfConfig {
     /// bit-identical to sequential builds — purely a performance switch.
     /// Only effective together with [`Self::drift_artifact_cache`].
     pub drift_parallel_build: bool,
+    /// Overlap the period boundary's drift work with the boundary's own
+    /// drift-independent bookkeeping: stale artifact inputs are
+    /// snapshotted at their `(pool generation, model version)` keys and
+    /// built on a detached background stage while the accuracy tables
+    /// refresh, then joined per application as the detection sweep
+    /// reaches them. Results are index-addressed pure functions of the
+    /// snapshots, so the joined state is bit-identical to the inline
+    /// build at any worker count — purely a performance switch (pinned
+    /// by the overlap ≡ inline property tests). Only effective together
+    /// with [`Self::drift_artifact_cache`] and
+    /// [`Self::drift_parallel_build`].
+    pub drift_overlap: bool,
+    /// Worker threads for the background drift stage (0 = the host's
+    /// available parallelism). Exposed so the determinism tests can pin
+    /// exact worker counts; results never depend on it.
+    pub drift_workers: usize,
 
     // ---- Ablation switches (§5.2) ----
     /// `false` = AdaInf/I: spare time divided evenly instead of by impact.
@@ -109,6 +125,8 @@ impl Default for AdaInfConfig {
             predicted_latency: false,
             predictor_warmup: 64,
             drift_parallel_build: true,
+            drift_overlap: true,
+            drift_workers: 0,
             use_impact_degrees: true,
             update_dag_each_period: true,
             slo_aware_space: true,

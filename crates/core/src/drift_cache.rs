@@ -24,6 +24,7 @@
 
 use adainf_apps::AppRuntime;
 use adainf_driftgen::LabeledSamples;
+use adainf_modelzoo::TrainableModel;
 use adainf_nn::metrics::cosine_distance;
 use adainf_nn::pca::{Pca, PcaScratch};
 use adainf_nn::{InferScratch, Matrix};
@@ -234,6 +235,40 @@ pub struct DetectScratch {
     infer: InferScratch,
 }
 
+/// The exact inputs one node's artifact build reads, factored out of
+/// [`AppRuntime`] so the same build code runs against two sources:
+/// live runtime borrows (the inline path) and owned boundary snapshots
+/// (the background path, [`DriftSnapshot`]). A build is a pure function
+/// of these five values plus the warm/carry state and the root stream —
+/// the equality that makes the overlapped pipeline bit-identical to
+/// the inline one.
+pub struct DriftInputs<'a> {
+    /// Previous period's training pool — the distribution deviated from.
+    pub old: &'a LabeledSamples,
+    /// Current pool, ranked by deviation.
+    pub pool: &'a LabeledSamples,
+    /// Held-out reference set, ranked by the same metric.
+    pub held_out: &'a LabeledSamples,
+    /// The node's model at the build's version tag.
+    pub model: &'a TrainableModel,
+    /// Pool generation, keying the PCA child stream.
+    pub period: u64,
+}
+
+impl<'a> DriftInputs<'a> {
+    /// The live-borrow view of `(rt, node)` — what the inline build
+    /// reads directly out of the runtime.
+    pub fn from_runtime(rt: &'a AppRuntime, node: usize) -> Self {
+        DriftInputs {
+            old: rt.old_samples(node),
+            pool: rt.pools[node].samples(),
+            held_out: rt.ref_samples(node),
+            model: &rt.models[node],
+            period: rt.period(),
+        }
+    }
+}
+
 /// Mean projected old-feature vector per class, accumulated in one
 /// ascending pass over the labels. Classes unseen in the old data fall
 /// back to the global mean. Bit-identical to a per-class rescan: each
@@ -341,7 +376,7 @@ fn interleave(ranked: &[usize]) -> Vec<usize> {
 /// every period.
 #[allow(clippy::too_many_arguments)]
 fn rankings(
-    rt: &AppRuntime,
+    inputs: &DriftInputs<'_>,
     node: usize,
     pca_components: usize,
     root: &Prng,
@@ -350,9 +385,13 @@ fn rankings(
     warm: Option<&Matrix>,
     carry: Matrix,
 ) -> (Vec<usize>, Vec<usize>, Matrix, Matrix) {
-    let old = rt.old_samples(node);
-    let pool = rt.pools[node].samples();
-    let held_out = rt.ref_samples(node);
+    let &DriftInputs {
+        old,
+        pool,
+        held_out,
+        model,
+        period,
+    } = inputs;
     if old.is_empty() {
         // No old data to deviate from: identity orders, nothing fitted.
         return (
@@ -362,7 +401,6 @@ fn rankings(
             Matrix::default(),
         );
     }
-    let model = &rt.models[node];
     let DetectScratch {
         pca: pca_scratch,
         ref_feats,
@@ -374,7 +412,7 @@ fn rankings(
     if feats.rows() != old.len() {
         model.features_into(old, &mut feats);
     }
-    let mut rng = root.split(PCA_STREAM ^ (rt.period() << 16) ^ node as u64);
+    let mut rng = root.split(PCA_STREAM ^ (period << 16) ^ node as u64);
     let pca = Pca::fit_warm_with_scratch(&feats, pca_components, &mut rng, pca_scratch, warm);
     pca.transform_into(&feats, pca_scratch, projected);
     let means = class_means(projected, &old.labels, model.classes());
@@ -403,7 +441,18 @@ pub fn build_deviation_ranking(
     root: &Prng,
     scratch: &mut DetectScratch,
 ) -> Vec<usize> {
-    rankings(rt, node, pca_components, root, scratch, false, None, Matrix::default()).0
+    let inputs = DriftInputs::from_runtime(rt, node);
+    rankings(
+        &inputs,
+        node,
+        pca_components,
+        root,
+        scratch,
+        false,
+        None,
+        Matrix::default(),
+    )
+    .0
 }
 
 /// The §3.3.2 retraining order alone — [`build_deviation_ranking`]'s
@@ -435,7 +484,7 @@ pub fn build_retrain_order(
 /// result is reproducible from the key and the warm-start basis alone:
 /// replaying a build with the same `warm` input is bit-identical.
 fn build_ranked(
-    rt: &AppRuntime,
+    inputs: &DriftInputs<'_>,
     node: usize,
     pca_components: usize,
     root: &Prng,
@@ -444,7 +493,7 @@ fn build_ranked(
     carry: Matrix,
 ) -> DriftArtifacts {
     let (deviation, ref_order, basis, pool_features) =
-        rankings(rt, node, pca_components, root, scratch, true, warm, carry);
+        rankings(inputs, node, pca_components, root, scratch, true, warm, carry);
     let retrain = interleave(&deviation);
     let artifacts = DriftArtifacts {
         deviation,
@@ -456,7 +505,7 @@ fn build_ranked(
         pool_features,
     };
     if cfg!(feature = "strict-invariants") {
-        artifacts.check_invariants(rt.pools[node].samples().len(), rt.ref_samples(node).len());
+        artifacts.check_invariants(inputs.pool.len(), inputs.held_out.len());
     }
     artifacts
 }
@@ -473,7 +522,8 @@ pub fn build_artifacts(
     root: &Prng,
     scratch: &mut DetectScratch,
 ) -> DriftArtifacts {
-    let mut artifacts = build_ranked(rt, node, pca_components, root, scratch, None, Matrix::default());
+    let inputs = DriftInputs::from_runtime(rt, node);
+    let mut artifacts = build_ranked(&inputs, node, pca_components, root, scratch, None, Matrix::default());
     let pool_len = artifacts.deviation.len();
     let ref_len = artifacts.ref_order.len();
     if pool_len > 0 {
@@ -491,6 +541,74 @@ pub fn build_artifacts(
 /// fan-out can move each job wholesale to exactly one worker — no
 /// shared slot, no lock.
 type PrebuildJob = ((usize, usize), (u64, u64), Option<Matrix>, Matrix);
+
+/// An owned boundary snapshot of everything one stale `(app, node)`
+/// artifact build reads — the unit of work handed to the background
+/// stage by [`DriftCache::snapshot_stale`]. Owning clones (rather than
+/// borrowing the runtime like [`DriftCache::prebuild`]'s scoped
+/// fan-out) is what lets the build run on a detached thread that
+/// outlives the spawning statement: the serving loop may go on mutating
+/// pools and models, the snapshot's inputs are frozen at the boundary
+/// key. The clone cost is a few feature-matrix-sized `memcpy`s — ~2 %
+/// of the build it moves off the critical path.
+#[derive(Clone)]
+pub struct DriftSnapshot {
+    /// The `(app, node)` cache slot this build refreshes.
+    pub slot: (usize, usize),
+    /// The `(pool generation, model version)` tag pinned at snapshot
+    /// time.
+    pub key: (u64, u64),
+    period: u64,
+    old: LabeledSamples,
+    pool: LabeledSamples,
+    held_out: LabeledSamples,
+    model: TrainableModel,
+    warm: Option<Matrix>,
+    carry: Matrix,
+    root: Prng,
+}
+
+/// A completed background build, ready for
+/// [`DriftCache::insert_built`].
+pub struct BuiltArtifacts {
+    /// The `(app, node)` cache slot to install into.
+    pub slot: (usize, usize),
+    key: (u64, u64),
+    warm: Option<Matrix>,
+    /// The built artifact set.
+    pub artifacts: DriftArtifacts,
+}
+
+impl DriftSnapshot {
+    /// Runs the artifact build against the snapshotted inputs —
+    /// bit-identical to [`DriftCache::prebuild`] building the same key
+    /// inline, because [`rankings`] reads exactly the [`DriftInputs`]
+    /// values and both paths feed it the same ones.
+    pub fn build(self, pca_components: usize, scratch: &mut DetectScratch) -> BuiltArtifacts {
+        let inputs = DriftInputs {
+            old: &self.old,
+            pool: &self.pool,
+            held_out: &self.held_out,
+            model: &self.model,
+            period: self.period,
+        };
+        let artifacts = build_ranked(
+            &inputs,
+            self.slot.1,
+            pca_components,
+            &self.root,
+            scratch,
+            self.warm.as_ref(),
+            self.carry,
+        );
+        BuiltArtifacts {
+            slot: self.slot,
+            key: self.key,
+            warm: self.warm,
+            artifacts,
+        }
+    }
+}
 
 /// One cache slot: the tag it was built for, the warm-start input that
 /// build consumed, and the artifacts themselves.
@@ -605,6 +723,7 @@ impl DriftCache {
         root: &Prng,
     ) -> &DriftArtifacts {
         let key = (rt.period(), rt.models[node].version());
+        let inputs = DriftInputs::from_runtime(rt, node);
         let scratch = &mut self.scratch;
         match self.entries.entry((app, node)) {
             Entry::Occupied(mut e) => {
@@ -616,7 +735,7 @@ impl DriftCache {
                     self.warm_starts += u64::from(warm.is_some());
                     let carry = e.get_mut().take_carry(key);
                     let artifacts = build_ranked(
-                        rt,
+                        &inputs,
                         node,
                         pca_components,
                         root,
@@ -635,7 +754,7 @@ impl DriftCache {
             Entry::Vacant(v) => {
                 self.misses += 1;
                 let artifacts = build_ranked(
-                    rt,
+                    &inputs,
                     node,
                     pca_components,
                     root,
@@ -706,8 +825,9 @@ impl DriftCache {
             threads,
             DetectScratch::default,
             |_, ((app, node), key, warm, carry): PrebuildJob, scratch: &mut DetectScratch| {
+                let inputs = DriftInputs::from_runtime(&apps[app], node);
                 let artifacts = build_ranked(
-                    &apps[app],
+                    &inputs,
                     node,
                     pca_components,
                     root,
@@ -730,6 +850,79 @@ impl DriftCache {
                 },
             );
         }
+    }
+
+    /// Resolves the stale subset of `jobs` into **owned**
+    /// [`DriftSnapshot`]s, in job order — the handoff step of the
+    /// overlapped period pipeline. Each snapshot clones exactly the
+    /// inputs its build reads (old/pool/reference sample sets, the
+    /// model at its version tag) plus the warm/carry state taken from
+    /// the evicted entry, so the build can run on a detached background
+    /// worker while the serving loop keeps mutating the live runtime:
+    /// the snapshot pins the `(pool generation, model version)` key the
+    /// artifacts are defined over, which is why the background result
+    /// is bit-identical to an inline build at the same key. Entries
+    /// that are already current are skipped, exactly like
+    /// [`Self::prebuild`]; returns nothing when the cache is disabled
+    /// (the disabled path keeps its rebuild-per-lookup semantics).
+    ///
+    /// Every returned snapshot must come back through
+    /// [`Self::insert_built`] before the next lookup of its slot —
+    /// the background stage's ledger enforces the join, and the carry
+    /// matrices taken here would otherwise be lost.
+    pub fn snapshot_stale(
+        &mut self,
+        jobs: &[(usize, usize)],
+        apps: &[AppRuntime],
+        root: &Prng,
+    ) -> Vec<DriftSnapshot> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let mut stale = Vec::new();
+        for &(app, node) in jobs {
+            let rt = &apps[app];
+            let key = (rt.period(), rt.models[node].version());
+            match self.entries.get_mut(&(app, node)) {
+                Some(e) if e.key == key => {}
+                prior => {
+                    let (warm, carry) = match prior {
+                        Some(e) => (e.warm_for(key), e.take_carry(key)),
+                        None => (None, Matrix::default()),
+                    };
+                    stale.push(DriftSnapshot {
+                        slot: (app, node),
+                        key,
+                        period: rt.period(),
+                        old: rt.old_samples(node).clone(),
+                        pool: rt.pools[node].samples().clone(),
+                        held_out: rt.ref_samples(node).clone(),
+                        model: rt.models[node].clone(),
+                        warm,
+                        carry,
+                        root: root.clone(),
+                    });
+                }
+            }
+        }
+        stale
+    }
+
+    /// Installs one background-built result, bumping the same counters
+    /// an inline [`Self::prebuild`] insert would. Callers insert in job
+    /// order, so the cache state (entries, counters, warm chains) ends
+    /// bit-identical to the inline path's.
+    pub fn insert_built(&mut self, built: BuiltArtifacts) {
+        self.misses += 1;
+        self.warm_starts += u64::from(built.warm.is_some());
+        self.entries.insert(
+            built.slot,
+            CacheEntry {
+                key: built.key,
+                warm_input: built.warm,
+                artifacts: built.artifacts,
+            },
+        );
     }
 
     /// Shared view of an already-built entry; `None` when
@@ -947,6 +1140,79 @@ mod tests {
             assert!(par.warm_starts > 0, "second generation must warm-start");
             // Prebuilt entries are current: the lookups above all hit.
             assert_eq!(par.hits as usize, 2 * rt.spec.nodes.len(), "threads {threads}");
+        }
+    }
+
+    /// The overlapped pipeline's handoff: boundary snapshots built on a
+    /// detached background stage, joined in an adversarial (reverse)
+    /// order and installed in job order, must leave the cache — entries,
+    /// counters and warm chains — bit-identical to sequential inline
+    /// lookups, at every thread count.
+    #[test]
+    fn background_snapshot_stage_bit_equal_sequential_lookups() {
+        use adainf_simcore::parallel::spawn_background;
+        let root = Prng::new(7);
+        for threads in [1, 2, 4, 8] {
+            let mut rt = drifted_runtime(1);
+            let mut seq = DriftCache::new(true);
+            let mut bg = DriftCache::new(true);
+            // Two generations so the second stage exercises warm starts
+            // and feature carries through the snapshot path.
+            for _ in 0..2 {
+                let nodes = rt.spec.nodes.len();
+                let jobs: Vec<(usize, usize)> = (0..nodes).map(|n| (0, n)).collect();
+                let snaps = bg.snapshot_stale(&jobs, std::slice::from_ref(&rt), &root);
+                let n = snaps.len();
+                assert_eq!(n, nodes, "all slots stale at a fresh generation");
+                let mut stage = spawn_background(
+                    snaps,
+                    threads,
+                    DetectScratch::default,
+                    |_, snap: DriftSnapshot, scratch: &mut DetectScratch| snap.build(8, scratch),
+                );
+                let mut built: Vec<Option<BuiltArtifacts>> = (0..n).map(|_| None).collect();
+                for idx in (0..n).rev() {
+                    built[idx] = Some(stage.take(idx));
+                }
+                stage.finish();
+                for b in built.into_iter().flatten() {
+                    bg.insert_built(b);
+                }
+                for node in 0..nodes {
+                    let s = seq.artifacts(0, &rt, node, 8, &root).clone();
+                    let p = bg.artifacts(0, &rt, node, 8, &root);
+                    assert_eq!(&s, p, "threads {threads} node {node}");
+                }
+                rt.advance_period();
+            }
+            assert_eq!(seq.misses, bg.misses, "threads {threads}");
+            assert_eq!(seq.warm_starts, bg.warm_starts, "threads {threads}");
+            assert!(bg.warm_starts > 0, "second generation must warm-start");
+        }
+    }
+
+    /// Adversarial schedule replay over the snapshot handoff: forced
+    /// claim-order permutations and worker assignments (fan_out_check)
+    /// over the snapshot builds must reproduce the inline builds
+    /// bit-for-bit — a build secretly depending on execution order or
+    /// worker identity fails loudly here.
+    #[test]
+    fn snapshot_handoff_survives_adversarial_schedules() {
+        use adainf_simcore::parallel::fan_out_check;
+        let rt = drifted_runtime(2);
+        let root = Prng::new(7);
+        let mut cache = DriftCache::new(true);
+        let nodes = rt.spec.nodes.len();
+        let jobs: Vec<(usize, usize)> = (0..nodes).map(|n| (0, n)).collect();
+        let snaps = cache.snapshot_stale(&jobs, std::slice::from_ref(&rt), &root);
+        assert_eq!(snaps.len(), nodes);
+        let built = fan_out_check(11, 3, &[1, 2, 4], snaps.len(), DetectScratch::default, |i, scratch| {
+            snaps[i].clone().build(8, scratch).artifacts
+        });
+        let mut inline = DriftCache::new(true);
+        for (node, art) in built.iter().enumerate() {
+            let reference = inline.artifacts(0, &rt, node, 8, &root);
+            assert_eq!(art, reference, "node {node}");
         }
     }
 

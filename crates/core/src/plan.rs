@@ -176,12 +176,23 @@ pub trait Scheduler {
         &[]
     }
 
+    /// Wall-clock nanoseconds the serving loop actually *stalled* on
+    /// drift work — the drift critical path. For inline schedulers this
+    /// equals [`Self::drift_overhead_ns`]; overlapped schedulers report
+    /// only snapshot/spawn/sweep time plus join waits, excluding the
+    /// background builds that ran concurrently with serving.
+    fn drift_blocked_ns(&self) -> u128 {
+        0
+    }
+
     /// Largest resolved worker-thread count the scheduler's parallel
     /// fan-outs actually ran with (after the ambient
-    /// `available_parallelism` fallback), or 0 if it never fanned out.
-    /// Bench rows record it so results document their host parallelism.
-    fn worker_threads(&self) -> usize {
-        0
+    /// `available_parallelism` fallback), or `None` if this scheduler
+    /// has no worker pool at all. Bench rows record it so results
+    /// document their host parallelism, and omit the column for
+    /// pool-less schedulers instead of printing a misleading 0.
+    fn worker_threads(&self) -> Option<usize> {
+        None
     }
 
     /// Whether this scheduler runs an online latency predictor (see

@@ -13,7 +13,7 @@
 
 use crate::cache::DecisionCache;
 use crate::config::AdaInfConfig;
-use crate::drift_cache::DriftCache;
+use crate::drift_cache::{BuiltArtifacts, DetectScratch, DriftCache, DriftSnapshot};
 use crate::drift_detect::{detect_drift_cached, DriftReport};
 use crate::incremental::RetrainProgress;
 use crate::plan::{AppPeriodPlan, JobPlan, PeriodPlan, Scheduler, SessionCtx};
@@ -64,12 +64,20 @@ pub struct AdaInfScheduler {
     /// Cumulative wall-clock spent in session scheduling, and calls.
     sched_wall_ns: u128,
     sched_calls: u64,
-    /// Cumulative wall-clock spent in period-boundary drift work
-    /// (detection + retraining-order selection).
+    /// Cumulative wall-clock of period-boundary drift **work** —
+    /// caller-thread compute plus background-worker build time. With
+    /// the overlapped pipeline off this is exactly the inline drift
+    /// block; with it on the same work total is split across threads.
     drift_wall_ns: u128,
-    /// The same drift wall-clock, per period boundary in period order —
-    /// the distribution behind the harness's p99 drift latency.
+    /// The same drift work wall-clock, per period boundary in period
+    /// order — the distribution behind the harness's p99 drift latency.
     drift_period_ns: Vec<u64>,
+    /// Cumulative wall-clock the serving loop was actually **stalled**
+    /// by drift work — the critical path: snapshot + spawn, the
+    /// detection sweep's own compute, and time blocked joining
+    /// background builds. Equal to `drift_wall_ns` when the overlap is
+    /// off; the gap between the two is the overlap win.
+    drift_blocked_ns: u128,
     /// Exact memoisation of the per-session searches (see [`crate::cache`]).
     cache: DecisionCache,
     /// Per-period drift artifact cache (see [`crate::drift_cache`]):
@@ -113,6 +121,7 @@ impl AdaInfScheduler {
             sched_calls: 0,
             drift_wall_ns: 0,
             drift_period_ns: Vec::new(),
+            drift_blocked_ns: 0,
             cache: DecisionCache::default(),
             drift,
             worker_threads: 0,
@@ -143,7 +152,14 @@ impl AdaInfScheduler {
         (self.drift.hits, self.drift.misses)
     }
 
-    fn refresh_accuracy_tables(&mut self, apps: &mut [AppRuntime]) {
+    /// Refreshes the per-node `(cut, accuracy)` tables and initial
+    /// accuracies. Reads only model weights and evaluation sets (and
+    /// writes only the runtime's accuracy cache) — disjoint from
+    /// everything the drift sweep touches, which is what lets the
+    /// overlapped pipeline run this in the window between spawning the
+    /// background builds and joining them, bit-identically to the
+    /// inline order.
+    fn refresh_accuracy_values(&mut self, apps: &mut [AppRuntime]) {
         for (a, rt) in apps.iter_mut().enumerate() {
             let mut table = Vec::with_capacity(rt.spec.nodes.len());
             let mut init = Vec::with_capacity(rt.spec.nodes.len());
@@ -159,8 +175,13 @@ impl AdaInfScheduler {
             self.states[a].acc_table = table;
             self.states[a].initial_acc = init;
         }
-        // With the tables refreshed, make this period's structure choice
-        // per application (it is session-invariant, §3.3.2 step 1).
+    }
+
+    /// With the tables refreshed and this period's RI-DAGs built, makes
+    /// the period's structure choice per application (it is
+    /// session-invariant, §3.3.2 step 1). Must run after the drift
+    /// sweep — the selection reads the new DAGs.
+    fn select_period_structures(&mut self) {
         for a in 0..self.states.len() {
             let state = &self.states[a];
             let acc_table = &state.acc_table;
@@ -199,8 +220,12 @@ impl Scheduler for AdaInfScheduler {
         &self.drift_period_ns
     }
 
-    fn worker_threads(&self) -> usize {
-        self.worker_threads
+    fn drift_blocked_ns(&self) -> u128 {
+        self.drift_blocked_ns
+    }
+
+    fn worker_threads(&self) -> Option<usize> {
+        (self.worker_threads > 0).then_some(self.worker_threads)
     }
 
     fn predictor_enabled(&self) -> bool {
@@ -236,26 +261,37 @@ impl Scheduler for AdaInfScheduler {
         let wall = WallTimer::start();
         self.last_reports.clear();
 
-        let drift_wall = WallTimer::start();
-        {
-            // Disjoint field borrows: the drift cache and rng are used
-            // while states and reports are written.
-            let AdaInfScheduler {
-                config,
-                rng,
-                states,
-                last_reports,
-                drift,
-                worker_threads,
-                ..
-            } = self;
-            // Build this period's artifacts concurrently before the
-            // sequential sweep reads them. The job set mirrors exactly
-            // what the sweep below touches — every node of apps that run
-            // detection, and only the frozen RI-DAG's retraining nodes
-            // otherwise — so warm-start chains are identical whether the
-            // entries were prebuilt or built on first lookup.
-            if config.drift_artifact_cache && config.drift_parallel_build {
+        let overlap = self.config.drift_artifact_cache
+            && self.config.drift_parallel_build
+            && self.config.drift_overlap;
+
+        // Three drift wall-clock components, accumulated separately so
+        // the metrics can tell total *work* apart from the serving
+        // loop's *stall*:
+        //   caller  — time this thread spent inside the drift sections
+        //             (snapshot + spawn + the sweep, waits included);
+        //   built   — background workers' build time;
+        //   blocked — the subset of `caller` spent waiting on joins.
+        // Total work = caller − blocked + built; critical path = caller.
+        let mut drift_caller_ns: u128 = 0;
+        let mut drift_built_ns: u128 = 0;
+        let mut drift_blocked_ns: u128 = 0;
+
+        if overlap {
+            // ---- Overlapped period pipeline ----
+            // Stage 1: snapshot the stale artifact inputs at their
+            // (pool generation, model version) keys and launch the
+            // builds on a detached background stage.
+            let seg = WallTimer::start();
+            let (mut stage, slots) = {
+                let AdaInfScheduler {
+                    config,
+                    rng,
+                    states,
+                    drift,
+                    worker_threads,
+                    ..
+                } = &mut *self;
                 let mut jobs: Vec<(usize, usize)> = Vec::new();
                 for (a, rt) in apps.iter().enumerate() {
                     let update_dag = config.update_dag_each_period || !states[a].frozen;
@@ -265,42 +301,162 @@ impl Scheduler for AdaInfScheduler {
                         }
                     }
                 }
-                *worker_threads =
-                    (*worker_threads).max(parallel::resolved_threads(jobs.len(), 0));
-                drift.prebuild(&jobs, apps, config.pca_components, rng, 0);
-            }
-            for (a, rt) in apps.iter_mut().enumerate() {
-                // AdaInf/U builds each application's DAG once — frozen at
-                // the first period in which drift is detected at all.
-                let update_dag = config.update_dag_each_period || !states[a].frozen;
-                if update_dag {
-                    let report = detect_drift_cached(rt, a, config, drift, rng);
-                    states[a].ridag = RiDag::build(&rt.spec, &report);
-                    if !report.impacted.is_empty() {
-                        states[a].frozen = true;
-                    }
-                    last_reports.push(report);
+                let snaps = drift.snapshot_stale(&jobs, apps, rng);
+                if !snaps.is_empty() {
+                    *worker_threads = (*worker_threads)
+                        .max(parallel::resolved_threads(snaps.len(), config.drift_workers).max(1));
                 }
-                // Order every retraining pool by deviation so retraining
-                // consumes the most-deviating samples first (§3.3.2). This
-                // applies even for /U — sample selection is not part of
-                // the DAG-update ablation. The order comes from the same
-                // cached artifacts the detector just built.
-                for node in 0..rt.spec.nodes.len() {
-                    if states[a].ridag.retrains(node) {
-                        let order = drift
-                            .artifacts(a, rt, node, config.pca_components, rng)
-                            .retrain
-                            .clone();
-                        rt.pools[node].set_order(&order);
+                let slots: Vec<(usize, usize)> = snaps.iter().map(|s| s.slot).collect();
+                let pca_components = config.pca_components;
+                let stage = parallel::spawn_background(
+                    snaps,
+                    config.drift_workers,
+                    DetectScratch::default,
+                    move |_, snap: DriftSnapshot, scratch: &mut DetectScratch| {
+                        let t = WallTimer::start();
+                        let built = snap.build(pca_components, scratch);
+                        (built, t.elapsed_nanos() as u64)
+                    },
+                );
+                (stage, slots)
+            };
+            drift_caller_ns += seg.elapsed_nanos();
+
+            // Overlap window: the accuracy-table value refresh reads
+            // only model weights and evaluation sets — independent of
+            // every build in flight — so it fills the caller's wait.
+            self.refresh_accuracy_values(apps);
+
+            // Stage 2: the detection sweep, joining each application's
+            // background builds right before it needs them (first
+            // artifact consumption). Inserts happen in job order, so
+            // cache counters and warm chains are bit-identical to the
+            // inline prebuild's.
+            let seg = WallTimer::start();
+            {
+                let AdaInfScheduler {
+                    config,
+                    rng,
+                    states,
+                    last_reports,
+                    drift,
+                    ..
+                } = &mut *self;
+                let mut next_slot = 0usize;
+                for (a, rt) in apps.iter_mut().enumerate() {
+                    while next_slot < slots.len() && slots[next_slot].0 == a {
+                        let waited = WallTimer::start();
+                        let (built, build_ns): (BuiltArtifacts, u64) = stage.take(next_slot);
+                        drift_blocked_ns += waited.elapsed_nanos();
+                        drift_built_ns += u128::from(build_ns);
+                        drift.insert_built(built);
+                        next_slot += 1;
+                    }
+                    let update_dag = config.update_dag_each_period || !states[a].frozen;
+                    if update_dag {
+                        let report = detect_drift_cached(rt, a, config, drift, rng);
+                        states[a].ridag = RiDag::build(&rt.spec, &report);
+                        if !report.impacted.is_empty() {
+                            states[a].frozen = true;
+                        }
+                        last_reports.push(report);
+                    }
+                    for node in 0..rt.spec.nodes.len() {
+                        if states[a].ridag.retrains(node) {
+                            let order = drift
+                                .artifacts(a, rt, node, config.pca_components, rng)
+                                .retrain
+                                .clone();
+                            rt.pools[node].set_order(&order);
+                        }
+                    }
+                }
+                // Next-boundary backstop: nothing should be left (every
+                // job belongs to an application the sweep visited), but
+                // join defensively before the ledger check retires the
+                // stage — finish() asserts every snapshot was built and
+                // joined exactly once.
+                let waited = WallTimer::start();
+                for (_, (built, build_ns)) in stage.drain() {
+                    drift_built_ns += u128::from(build_ns);
+                    drift.insert_built(built);
+                }
+                drift_blocked_ns += waited.elapsed_nanos();
+                stage.finish();
+            }
+            drift_caller_ns += seg.elapsed_nanos();
+        } else {
+            let seg = WallTimer::start();
+            {
+                // Disjoint field borrows: the drift cache and rng are used
+                // while states and reports are written.
+                let AdaInfScheduler {
+                    config,
+                    rng,
+                    states,
+                    last_reports,
+                    drift,
+                    worker_threads,
+                    ..
+                } = &mut *self;
+                // Build this period's artifacts concurrently before the
+                // sequential sweep reads them. The job set mirrors exactly
+                // what the sweep below touches — every node of apps that run
+                // detection, and only the frozen RI-DAG's retraining nodes
+                // otherwise — so warm-start chains are identical whether the
+                // entries were prebuilt or built on first lookup.
+                if config.drift_artifact_cache && config.drift_parallel_build {
+                    let mut jobs: Vec<(usize, usize)> = Vec::new();
+                    for (a, rt) in apps.iter().enumerate() {
+                        let update_dag = config.update_dag_each_period || !states[a].frozen;
+                        for node in 0..rt.spec.nodes.len() {
+                            if update_dag || states[a].ridag.retrains(node) {
+                                jobs.push((a, node));
+                            }
+                        }
+                    }
+                    *worker_threads =
+                        (*worker_threads).max(parallel::resolved_threads(jobs.len(), 0));
+                    drift.prebuild(&jobs, apps, config.pca_components, rng, 0);
+                }
+                for (a, rt) in apps.iter_mut().enumerate() {
+                    // AdaInf/U builds each application's DAG once — frozen at
+                    // the first period in which drift is detected at all.
+                    let update_dag = config.update_dag_each_period || !states[a].frozen;
+                    if update_dag {
+                        let report = detect_drift_cached(rt, a, config, drift, rng);
+                        states[a].ridag = RiDag::build(&rt.spec, &report);
+                        if !report.impacted.is_empty() {
+                            states[a].frozen = true;
+                        }
+                        last_reports.push(report);
+                    }
+                    // Order every retraining pool by deviation so retraining
+                    // consumes the most-deviating samples first (§3.3.2). This
+                    // applies even for /U — sample selection is not part of
+                    // the DAG-update ablation. The order comes from the same
+                    // cached artifacts the detector just built.
+                    for node in 0..rt.spec.nodes.len() {
+                        if states[a].ridag.retrains(node) {
+                            let order = drift
+                                .artifacts(a, rt, node, config.pca_components, rng)
+                                .retrain
+                                .clone();
+                            rt.pools[node].set_order(&order);
+                        }
                     }
                 }
             }
+            // Inline: the whole drift block runs on (and stalls) the
+            // caller — critical path and total work coincide.
+            drift_caller_ns += seg.elapsed_nanos();
+            self.refresh_accuracy_values(apps);
         }
-        let drift_elapsed = drift_wall.elapsed_nanos();
-        self.drift_wall_ns += drift_elapsed;
-        self.drift_period_ns.push(drift_elapsed as u64);
-        self.refresh_accuracy_tables(apps);
+        self.drift_wall_ns += drift_caller_ns - drift_blocked_ns + drift_built_ns;
+        self.drift_period_ns
+            .push((drift_caller_ns - drift_blocked_ns + drift_built_ns) as u64);
+        self.drift_blocked_ns += drift_caller_ns;
+        self.select_period_structures();
         // Time plans are valid only for this period's DAGs and accuracy
         // snapshots — drop the stale ones.
         self.cache.start_period();

@@ -133,6 +133,7 @@ pub fn suite_config(seed: u64) -> RunConfig {
         comm: None,
         device_factors: Arc::from([]),
         chaos: None,
+        train_workers: 0,
     }
 }
 

@@ -60,10 +60,23 @@ pub struct RunMetrics {
     /// schedulers that track it — the distribution behind
     /// [`Summary::drift_detect_p99_us`]. Empty otherwise.
     pub drift_detect_period_us: Vec<f64>,
-    /// Largest resolved worker-thread count the scheduler's parallel
-    /// fan-outs ran with (after the ambient `available_parallelism`
-    /// fallback inside `fan_out_indexed`); 0 when nothing fanned out.
-    pub worker_threads: usize,
+    /// Wall-clock nanoseconds the serving loop actually *stalled* on
+    /// drift work (the drift critical path): snapshot/spawn/sweep time
+    /// plus join waits, excluding background builds that overlapped
+    /// serving. Equals [`Self::drift_detect_ns`] for inline schedulers.
+    pub drift_blocked_ns: u64,
+    /// Wall-clock nanoseconds of session serving across the run — every
+    /// `step_session` call minus the retraining time accrued inside it.
+    pub serve_ns: u64,
+    /// Wall-clock nanoseconds of model training across the run: staged
+    /// SGD flushes (inline and boundary fan-outs) and bulk retraining.
+    pub train_ns: u64,
+    /// Largest resolved worker-thread count of any parallel fan-out this
+    /// run actually performed (after the ambient `available_parallelism`
+    /// fallback), across the scheduler's pools and the harness's
+    /// boundary training stage; `None` when the run has no pool at all,
+    /// so reports can omit the column instead of printing a bogus 0.
+    pub worker_threads: Option<usize>,
     /// Total requests served.
     pub total_requests: u64,
     /// Retraining samples consumed per (app, node), cumulative.
@@ -155,7 +168,10 @@ impl RunMetrics {
             cache_evictions: 0,
             drift_detect_ns: 0,
             drift_detect_period_us: Vec::new(),
-            worker_threads: 0,
+            drift_blocked_ns: 0,
+            serve_ns: 0,
+            train_ns: 0,
+            worker_threads: None,
             total_requests: 0,
             retrain_samples: node_counts.iter().map(|&n| vec![0; n]).collect(),
             per_app_latency: node_counts
@@ -296,6 +312,15 @@ impl RunMetrics {
                 / 1e3
                 / self.period_overhead.count().max(1) as f64,
             drift_detect_p99_us: self.drift_detect_p99_us(),
+            drift_critical_path_us: self.drift_blocked_ns as f64
+                / 1e3
+                / self.period_overhead.count().max(1) as f64,
+            serve_us: self.serve_ns as f64
+                / 1e3
+                / self.period_overhead.count().max(1) as f64,
+            train_us: self.train_ns as f64
+                / 1e3
+                / self.period_overhead.count().max(1) as f64,
             worker_threads: self.worker_threads,
             shed_requests: self.shed_requests,
             degraded_jobs: self.degraded_jobs,
@@ -416,9 +441,25 @@ pub struct Summary {
     /// p99 per-period drift wall time (µs) — the period-boundary stall
     /// tail (0 for schedulers without per-period tracking).
     pub drift_detect_p99_us: f64,
-    /// Resolved worker-thread count of the scheduler's parallel fan-outs
-    /// (0 when none ran) — documents the host parallelism of this row.
-    pub worker_threads: usize,
+    /// Mean drift *critical path* per period (µs): time the serving loop
+    /// was actually blocked on drift work. Equals
+    /// [`Self::drift_detect_us`] for inline schedulers; for overlapped
+    /// schedulers the background builds are excluded, so
+    /// `drift_detect_us − drift_critical_path_us` is the work hidden
+    /// behind serving.
+    pub drift_critical_path_us: f64,
+    /// Mean session-serving wall per period (µs) — the event loop's own
+    /// phase of the breakdown (training time accrued inside sessions is
+    /// counted under `train_us`, not here).
+    pub serve_us: f64,
+    /// Mean training wall per period (µs): staged SGD flushes plus bulk
+    /// retraining.
+    pub train_us: f64,
+    /// Resolved worker-thread count of the row's parallel fan-outs
+    /// (scheduler pools and the harness training stage), or `None` when
+    /// the run used no pool — reports omit the column then instead of
+    /// printing a misleading 0.
+    pub worker_threads: Option<usize>,
     /// Requests shed by admission control (0 without faults).
     pub shed_requests: u64,
     /// Jobs served degraded after reload give-up (0 without faults).
@@ -434,9 +475,12 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Renders the summary as pretty JSON.
+    /// Renders the summary as pretty JSON. `worker_threads` is emitted
+    /// only for rows that ran a pool — pool-less schedulers omit the
+    /// key entirely rather than reporting a 0 that reads like a
+    /// measurement.
     pub fn to_json(&self) -> String {
-        json::object([
+        let mut fields: Vec<(&str, String)> = vec![
             ("name", json::string(&self.name)),
             ("mean_accuracy", json::num(self.mean_accuracy)),
             ("mean_finish_rate", json::num(self.mean_finish_rate)),
@@ -457,7 +501,17 @@ impl Summary {
             ("cache_evictions", json::int(self.cache_evictions)),
             ("drift_detect_us", json::num(self.drift_detect_us)),
             ("drift_detect_p99_us", json::num(self.drift_detect_p99_us)),
-            ("worker_threads", json::int(self.worker_threads as u64)),
+            (
+                "drift_critical_path_us",
+                json::num(self.drift_critical_path_us),
+            ),
+            ("serve_us", json::num(self.serve_us)),
+            ("train_us", json::num(self.train_us)),
+        ];
+        if let Some(w) = self.worker_threads {
+            fields.push(("worker_threads", json::int(w as u64)));
+        }
+        fields.extend([
             ("shed_requests", json::int(self.shed_requests)),
             ("degraded_jobs", json::int(self.degraded_jobs)),
             ("fault_sessions", json::int(self.fault_sessions)),
@@ -469,7 +523,8 @@ impl Summary {
                 "headroom_violation_rate",
                 json::num(self.headroom_violation_rate),
             ),
-        ])
+        ]);
+        json::object(fields)
     }
 }
 

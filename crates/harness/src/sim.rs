@@ -37,6 +37,8 @@ use adainf_driftgen::workload::ArrivalConfig;
 use adainf_driftgen::{FaultKind, FaultSpec, FaultTimeline, Impairments, LabeledSamples};
 use adainf_gpusim::memory::AccessIntent;
 use adainf_gpusim::{ContentKey, EdgeServer, GpuMemory, GpuSpec, LatencyModel, TaskContext};
+use adainf_modelzoo::TrainSliceScratch;
+use adainf_simcore::parallel;
 use adainf_simcore::time::{PERIOD, SESSION};
 use adainf_simcore::{Prng, SimDuration, SimTime};
 use std::cmp::Reverse;
@@ -121,6 +123,12 @@ pub struct RunConfig {
     /// the fault machinery is then never touched and metrics stay
     /// bit-identical to builds without it).
     pub chaos: Option<ChaosConfig>,
+    /// Worker threads for the period-boundary training fan-out
+    /// (0 = the host's available parallelism). The staged SGD flushes
+    /// of a boundary are independent per `(app, node)`, so the fan-out
+    /// is bit-identical at any width — exposed only so determinism
+    /// tests can pin exact counts.
+    pub train_workers: usize,
 }
 
 impl Default for RunConfig {
@@ -136,6 +144,7 @@ impl Default for RunConfig {
             comm: None,
             device_factors: Arc::from([]),
             chaos: None,
+            train_workers: 0,
         }
     }
 }
@@ -245,6 +254,14 @@ pub struct Simulation {
     scratch: SessionScratch,
     /// Fault-injection state (`None` on pristine runs).
     chaos: Option<ChaosRuntime>,
+    /// Wall-clock nanoseconds of session serving (each `step_session`
+    /// minus the training time accrued inside it).
+    serve_wall_ns: u128,
+    /// Wall-clock nanoseconds of model training: staged SGD flushes
+    /// (inline and boundary fan-outs) plus bulk retraining.
+    train_wall_ns: u128,
+    /// Largest resolved width of the boundary training fan-out.
+    train_pool_width: usize,
 }
 
 /// Staged samples per (app, node) before an SGD step fires.
@@ -389,6 +406,9 @@ impl Simulation {
             serial_free_at: vec![SimTime::ZERO; n_apps_for_state],
             scratch: SessionScratch::default(),
             chaos,
+            serve_wall_ns: 0,
+            train_wall_ns: 0,
+            train_pool_width: 0,
             config,
         }
     }
@@ -461,7 +481,16 @@ impl Simulation {
                 self.on_period_boundary(t);
             }
             self.apply_due_bulk(t);
+            // Serving wall = the session step minus whatever training
+            // it triggered inline (threshold-crossing staged flushes) —
+            // the train timer is nested inside the session timer on the
+            // same clock, so the subtraction cannot underflow; the
+            // saturation only guards clock pathologies.
+            let w = WallTimer::start();
+            let train_before = self.train_wall_ns;
             self.step_session(t);
+            let train_delta = self.train_wall_ns - train_before;
+            self.serve_wall_ns += w.elapsed_nanos().saturating_sub(train_delta);
         }
         self.finalize();
         self.metrics
@@ -478,14 +507,54 @@ impl Simulation {
             for p in &mut pending {
                 self.apply_bulk(p);
             }
+            // Boundary flush of every staged (app, node), batched: the
+            // RNG-ordered preparation runs sequentially in (app, node)
+            // order — consuming the harness RNG exactly as the fused
+            // sequential loop did — and the pure SGD slices fan out
+            // with one training scratch per worker. Each job owns its
+            // sample set and a disjoint `&mut` model, so results are
+            // bit-identical at any worker count.
+            let mut staged: Vec<(usize, usize, LabeledSamples)> = Vec::new();
             for a in 0..self.apps.len() {
                 for node in 0..self.apps[a].spec.nodes.len() {
-                    self.flush_stage(a, node, 1);
+                    if let Some(shuffled) = self.prepare_flush(a, node) {
+                        staged.push((a, node, shuffled));
+                    }
                     self.replay[a][node] = LabeledSamples {
                         inputs: adainf_nn::Matrix::zeros(0, 1),
                         labels: Vec::new(),
                     };
                 }
+            }
+            if !staged.is_empty() {
+                let w = WallTimer::start();
+                self.train_pool_width = self.train_pool_width.max(
+                    parallel::resolved_threads(staged.len(), self.config.train_workers),
+                );
+                // Pair each job with its model: `staged` is already in
+                // ascending (app, node) order, matching the nested
+                // iteration, so a single peekable cursor suffices.
+                let mut cursor = staged.into_iter().peekable();
+                let mut jobs: Vec<(&mut adainf_modelzoo::TrainableModel, LabeledSamples)> =
+                    Vec::new();
+                for (a, rt) in self.apps.iter_mut().enumerate() {
+                    for (node, model) in rt.models.iter_mut().enumerate() {
+                        if cursor.peek().is_some_and(|j| j.0 == a && j.1 == node) {
+                            // simlint: allow(no-unwrap-in-lib) — guarded by the peek above.
+                            let (_, _, shuffled) = cursor.next().expect("peeked job");
+                            jobs.push((model, shuffled));
+                        }
+                    }
+                }
+                parallel::fan_out_indexed_owned(
+                    jobs,
+                    self.config.train_workers,
+                    TrainSliceScratch::default,
+                    |_, (model, shuffled), scratch: &mut TrainSliceScratch| {
+                        model.train_slice_with(&shuffled, 1, scratch);
+                    },
+                );
+                self.train_wall_ns += w.elapsed_nanos();
             }
             let mut used = 0.0;
             let mut total = 0.0;
@@ -574,7 +643,9 @@ impl Simulation {
         );
         if !samples.is_empty() {
             self.metrics.retrain_samples[app][node] += samples.len() as u64;
+            let w = WallTimer::start();
             self.apps[app].models[node].train_slice(&samples, 2);
+            self.train_wall_ns += w.elapsed_nanos();
         }
         self.updated_this_period[app][node] = true;
     }
@@ -1143,12 +1214,17 @@ impl Simulation {
         }
     }
 
-    /// Applies any staged samples of (app, node) as one SGD slice,
-    /// rehearsing an equal-sized draw from the replay reservoir and
-    /// shuffling, then folds the new samples into the reservoir.
-    fn flush_stage(&mut self, app: usize, node: usize, epochs: usize) {
+    /// The RNG-ordered half of a staged flush: assembles the training
+    /// set for (app, node) — rehearsal draw from the replay reservoir,
+    /// shuffle, reservoir fold-in — and returns it, WITHOUT training.
+    /// All harness-RNG consumption of a flush happens here, in the
+    /// exact order of the original fused routine (the hoisted
+    /// `train_slice` consumed no RNG), so boundary flushes can prepare
+    /// every (app, node) sequentially and fan the pure SGD work out in
+    /// parallel, bit-identically.
+    fn prepare_flush(&mut self, app: usize, node: usize) -> Option<LabeledSamples> {
         if self.stage[app][node].is_empty() {
-            return;
+            return None;
         }
         let parts = std::mem::take(&mut self.stage[app][node]);
         let refs: Vec<&LabeledSamples> = parts.iter().collect();
@@ -1165,7 +1241,6 @@ impl Simulation {
         let mut order: Vec<usize> = (0..mix.len()).collect();
         self.rng.shuffle(&mut order);
         let shuffled = mix.select(&order);
-        self.apps[app].models[node].train_slice(&shuffled, epochs.max(1));
         // Reservoir update: append, then down-sample to the cap.
         let mut merged = LabeledSamples::concat(&[&self.replay[app][node], &fresh]);
         if merged.len() > REPLAY_CAP {
@@ -1175,6 +1250,18 @@ impl Simulation {
             merged = merged.select(&keep);
         }
         self.replay[app][node] = merged;
+        Some(shuffled)
+    }
+
+    /// Applies any staged samples of (app, node) as one SGD slice,
+    /// rehearsing an equal-sized draw from the replay reservoir and
+    /// shuffling, then folds the new samples into the reservoir.
+    fn flush_stage(&mut self, app: usize, node: usize, epochs: usize) {
+        if let Some(shuffled) = self.prepare_flush(app, node) {
+            let w = WallTimer::start();
+            self.apps[app].models[node].train_slice(&shuffled, epochs.max(1));
+            self.train_wall_ns += w.elapsed_nanos();
+        }
     }
 
     fn finalize(&mut self) {
@@ -1189,7 +1276,18 @@ impl Simulation {
             .iter()
             .map(|&ns| ns as f64 / 1e3)
             .collect();
-        self.metrics.worker_threads = self.scheduler.worker_threads();
+        self.metrics.drift_blocked_ns = self.scheduler.drift_blocked_ns() as u64;
+        self.metrics.serve_ns = self.serve_wall_ns as u64;
+        self.metrics.train_ns = self.train_wall_ns as u64;
+        // The run's resolved pool width: the widest fan-out of either
+        // the scheduler's drift pools or the harness's boundary
+        // training stage; `None` when neither ever fanned out, so the
+        // bench omits the column for pool-less rows.
+        self.metrics.worker_threads =
+            match (self.scheduler.worker_threads(), self.train_pool_width) {
+                (None, 0) => None,
+                (sched, train) => Some(sched.unwrap_or(0).max(train)),
+            };
         if let Some(chaos) = &self.chaos {
             self.metrics.storm_evictions = chaos.mem.stats().pressure_evictions;
         }
@@ -1227,6 +1325,7 @@ mod tests {
             comm: None,
             device_factors: Arc::from([]),
             chaos: None,
+            train_workers: 0,
         }
     }
 

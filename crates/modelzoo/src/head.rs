@@ -9,7 +9,7 @@
 
 use crate::profile::ModelProfile;
 use adainf_driftgen::LabeledSamples;
-use adainf_nn::{EarlyExitMlp, InferScratch, Matrix, MlpConfig};
+use adainf_nn::{EarlyExitMlp, InferScratch, Matrix, MlpConfig, TrainScratch};
 use adainf_simcore::Prng;
 
 /// Feature dimensionality shared by all task streams and heads.
@@ -39,6 +39,17 @@ pub struct TrainableModel {
 #[derive(Clone, Debug, Default)]
 struct SliceScratch {
     inputs: Matrix,
+}
+
+/// Per-*worker* training buffers for parallel `train_slice` fan-outs:
+/// the mini-batch input slab plus the full backward-pass scratch of
+/// the head MLP. One instance serves every model a worker trains
+/// (buffers carry no model state), so a fan-out warms
+/// `worker_count` scratches instead of `model_count`.
+#[derive(Debug, Default)]
+pub struct TrainSliceScratch {
+    inputs: Matrix,
+    net: TrainScratch,
 }
 
 impl TrainableModel {
@@ -164,6 +175,40 @@ impl TrainableModel {
         self.trained_samples += n as u64;
     }
 
+    /// [`Self::train_slice`] through caller-owned buffers — the entry
+    /// point for parallel training fan-outs (one warmed
+    /// [`TrainSliceScratch`] per worker). Identical chunking, identical
+    /// SGD math, identical version/sample accounting; results are bit
+    /// for bit the same as the embedded-scratch path.
+    pub fn train_slice_with(
+        &mut self,
+        samples: &LabeledSamples,
+        epochs: usize,
+        scratch: &mut TrainSliceScratch,
+    ) {
+        if samples.is_empty() || epochs == 0 {
+            return;
+        }
+        let n = samples.len();
+        for _ in 0..epochs {
+            let mut start = 0;
+            while start < n {
+                let end = (start + Self::SGD_BATCH).min(n);
+                scratch
+                    .inputs
+                    .copy_rows_from(&samples.inputs, start, end);
+                self.head.train_batch_parts_with(
+                    &scratch.inputs,
+                    &samples.labels[start..end],
+                    &mut scratch.net,
+                );
+                start = end;
+            }
+        }
+        self.version += 1;
+        self.trained_samples += n as u64;
+    }
+
     /// First-layer feature representation of samples — what the drift
     /// detector uses as "the feature vector of every new sample" (§3.2).
     pub fn features(&self, samples: &LabeledSamples) -> Matrix {
@@ -263,6 +308,29 @@ mod tests {
         let empty = stream.sample(0);
         model.train_slice(&empty, 3);
         assert_eq!(model.version(), 0);
+    }
+
+    /// The external-scratch training path must bit-match the embedded
+    /// one — including when one dirty scratch is shared across models,
+    /// the parallel fan-out's per-worker usage pattern.
+    #[test]
+    fn external_scratch_training_matches_embedded() {
+        let (mut a, mut stream) = setup();
+        let mut b = a.clone();
+        let mut scratch = TrainSliceScratch::default();
+        let eval = stream.sample(300);
+        for round in 0..6 {
+            let train = stream.sample(90 + round * 7);
+            a.train_slice(&train, 1 + round % 2);
+            b.train_slice_with(&train, 1 + round % 2, &mut scratch);
+            assert_eq!(a.version(), b.version(), "round {round}");
+            assert_eq!(a.trained_samples(), b.trained_samples());
+        }
+        assert_eq!(a.snapshot_params(), b.snapshot_params());
+        assert_eq!(
+            a.predict(&eval.inputs, a.profile.full_cut()),
+            b.predict(&eval.inputs, b.profile.full_cut())
+        );
     }
 
     #[test]

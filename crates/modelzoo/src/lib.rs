@@ -30,5 +30,5 @@ pub mod profile;
 pub mod zoo;
 
 pub use earlyexit::{AppStructure, StructureChoice};
-pub use head::TrainableModel;
+pub use head::{TrainSliceScratch, TrainableModel};
 pub use profile::ModelProfile;

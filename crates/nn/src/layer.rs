@@ -201,33 +201,46 @@ impl Dense {
             grad_out.relu_backward_inplace(pre);
         }
         let batch = input.rows().max(1) as f32;
-        // Gradient w.r.t. input, for the upstream layer.
+        // Gradient w.r.t. input, for the upstream layer (reads the
+        // pre-update weights, so it must precede the optimizer step).
         grad_out.matmul_t_into(&self.weights, grad_in);
-        // Parameter gradients, element-clamped for robustness against
-        // pathological batches (a standard safeguard in online training).
+        // Raw weight-gradient sums; the batch-mean scaling and
+        // robustness clamp are fused into the optimizer kernels below,
+        // saving two full passes over the gradient buffer per step.
         let grad_w = &mut scratch.grad_w;
         input.t_matmul_into(grad_out, grad_w);
-        grad_w.scale(1.0 / batch);
-        for g in grad_w.data_mut() {
-            *g = g.clamp(-5.0, 5.0);
-        }
+        // The bias gradient is a short vector — scale and clamp in
+        // place, exactly as before.
         let grad_b = &mut scratch.grad_b;
         grad_out.col_sums_into(grad_b);
         for g in grad_b.iter_mut() {
             *g = (*g / batch).clamp(-5.0, 5.0);
         }
-        self.apply_update(update, &scratch.grad_w, &scratch.grad_b);
+        self.apply_update(update, &scratch.grad_w, 1.0 / batch, &scratch.grad_b);
     }
 
-    /// Applies one optimizer step given batch-averaged, clamped
-    /// parameter gradients.
-    fn apply_update(&mut self, update: Update, grad_w: &Matrix, grad_b: &[f32]) {
+    /// Applies one optimizer step: `grad_w` holds *raw* gradient sums
+    /// (scaled by `inv_batch` and clamped inside the fused kernels),
+    /// `grad_b` is already batch-averaged and clamped.
+    fn apply_update(
+        &mut self,
+        update: Update,
+        grad_w: &Matrix,
+        inv_batch: f32,
+        grad_b: &[f32],
+    ) {
         match update {
             Update::SgdMomentum { lr, momentum } => {
                 // Momentum update: v = m·v − lr·g ; w += v.
-                self.vel_w.scale(momentum);
-                self.vel_w.axpy(-lr, grad_w);
-                self.weights.axpy(1.0, &self.vel_w);
+                crate::matrix::momentum_step(
+                    self.weights.data_mut(),
+                    self.vel_w.data_mut(),
+                    grad_w.data(),
+                    inv_batch,
+                    5.0,
+                    lr,
+                    momentum,
+                );
                 for ((b, v), g) in
                     self.bias.iter_mut().zip(&mut self.vel_b).zip(grad_b)
                 {
@@ -245,17 +258,20 @@ impl Dense {
                 let c2 = 1.0 - beta2.powf(t);
                 let (rows, cols) = (self.weights.rows(), self.weights.cols());
                 let v_w = self.adam_v_w.get_or_insert_with(|| Matrix::zeros(rows, cols));
-                for ((w, m), (v, g)) in self
-                    .weights
-                    .data_mut()
-                    .iter_mut()
-                    .zip(self.vel_w.data_mut())
-                    .zip(v_w.data_mut().iter_mut().zip(grad_w.data()))
-                {
-                    *m = beta1 * *m + (1.0 - beta1) * g;
-                    *v = beta2 * *v + (1.0 - beta2) * g * g;
-                    *w -= lr * (*m / c1) / ((*v / c2).sqrt() + eps);
-                }
+                crate::matrix::adam_step(
+                    self.weights.data_mut(),
+                    self.vel_w.data_mut(),
+                    v_w.data_mut(),
+                    grad_w.data(),
+                    inv_batch,
+                    5.0,
+                    lr,
+                    beta1,
+                    beta2,
+                    eps,
+                    c1,
+                    c2,
+                );
                 for ((b, m), (v, g)) in self
                     .bias
                     .iter_mut()

@@ -36,4 +36,4 @@ pub mod mlp;
 pub mod pca;
 
 pub use matrix::Matrix;
-pub use mlp::{EarlyExitMlp, InferScratch, MlpConfig, TrainBatch};
+pub use mlp::{EarlyExitMlp, InferScratch, MlpConfig, TrainBatch, TrainScratch};

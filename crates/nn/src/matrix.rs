@@ -340,16 +340,24 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         out.reset_zeroed(self.cols, other.cols);
         let m = self.rows;
-        // Four r steps per pass; per-output-element accumulation stays in
-        // ascending r order (bit-exact against the one-step loop) while
-        // each output row is loaded/stored once per four steps.
+        // Eight r steps per pass; per-output-element accumulation stays
+        // in ascending r order (bit-exact against the one-step loop)
+        // while each output row is loaded/stored once per eight steps —
+        // the backward gradient GEMM mirrors the forward kernels'
+        // 8-wide blocking.
         let mut r = 0;
-        while r + 4 <= m {
+        while r + 8 <= m {
             let (a0, a1, a2, a3) = (
                 self.row(r),
                 self.row(r + 1),
                 self.row(r + 2),
                 self.row(r + 3),
+            );
+            let (a4, a5, a6, a7) = (
+                self.row(r + 4),
+                self.row(r + 5),
+                self.row(r + 6),
+                self.row(r + 7),
             );
             let (b0, b1, b2, b3) = (
                 other.row(r),
@@ -357,21 +365,40 @@ impl Matrix {
                 other.row(r + 2),
                 other.row(r + 3),
             );
+            let (b4, b5, b6, b7) = (
+                other.row(r + 4),
+                other.row(r + 5),
+                other.row(r + 6),
+                other.row(r + 7),
+            );
             for i in 0..self.cols {
                 let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+                let (x4, x5, x6, x7) = (a4[i], a5[i], a6[i], a7[i]);
                 let out_row = out.row_mut(i);
-                for ((((o, &v0), &v1), &v2), &v3) in
-                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                for ((((((((o, &v0), &v1), &v2), &v3), &v4), &v5), &v6), &v7) in out_row
+                    .iter_mut()
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                    .zip(b4)
+                    .zip(b5)
+                    .zip(b6)
+                    .zip(b7)
                 {
                     let mut acc = *o;
                     acc += x0 * v0;
                     acc += x1 * v1;
                     acc += x2 * v2;
                     acc += x3 * v3;
+                    acc += x4 * v4;
+                    acc += x5 * v5;
+                    acc += x6 * v6;
+                    acc += x7 * v7;
                     *o = acc;
                 }
             }
-            r += 4;
+            r += 8;
         }
         while r < m {
             let arow = self.row(r);
@@ -780,6 +807,67 @@ impl fmt::Debug for Matrix {
     }
 }
 
+/// Fused SGD-momentum step over one parameter block: per element,
+/// `gc = clamp(g·inv_batch, ±bound)`, `v = momentum·v − lr·gc`,
+/// `w += v` — the batch-mean scaling, robustness clamp and update
+/// applied in a single pass instead of two full-buffer rewrites
+/// followed by three vector ops. Per-element arithmetic matches the
+/// unfused pipeline exactly (`momentum·v − lr·gc` is the IEEE-identical
+/// reassociation of `v·momentum + (−lr)·gc`), so weights are
+/// bit-identical; only the raw-gradient buffer is left unscaled, which
+/// no caller reads back.
+pub fn momentum_step(
+    weights: &mut [f32],
+    vel: &mut [f32],
+    grad: &[f32],
+    inv_batch: f32,
+    bound: f32,
+    lr: f32,
+    momentum: f32,
+) {
+    assert_eq!(weights.len(), grad.len(), "momentum_step shape mismatch");
+    assert_eq!(weights.len(), vel.len(), "momentum_step shape mismatch");
+    for ((w, v), g) in weights.iter_mut().zip(vel).zip(grad) {
+        let gc = (g * inv_batch).clamp(-bound, bound);
+        *v = momentum * *v - lr * gc;
+        *w += *v;
+    }
+}
+
+/// Fused Adam step over one parameter block: per element,
+/// `gc = clamp(g·inv_batch, ±bound)`, then the bias-corrected moment
+/// updates `m = β₁·m + (1−β₁)·gc`, `v = β₂·v + (1−β₂)·gc·gc`,
+/// `w −= lr·(m/c1)/(√(v/c2) + ε)` — one pass over four buffers instead
+/// of a scale pass, a clamp pass and the update. `c1`/`c2` are the
+/// step-count bias corrections `1 − βᵢᵗ`, computed once by the caller.
+/// Per-element expressions are unchanged from the unfused pipeline, so
+/// parameters and optimizer state are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_step(
+    weights: &mut [f32],
+    m1: &mut [f32],
+    m2: &mut [f32],
+    grad: &[f32],
+    inv_batch: f32,
+    bound: f32,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    c1: f32,
+    c2: f32,
+) {
+    assert_eq!(weights.len(), grad.len(), "adam_step shape mismatch");
+    assert_eq!(weights.len(), m1.len(), "adam_step shape mismatch");
+    assert_eq!(weights.len(), m2.len(), "adam_step shape mismatch");
+    for (((w, m), v), g) in weights.iter_mut().zip(m1).zip(m2).zip(grad) {
+        let gc = (g * inv_batch).clamp(-bound, bound);
+        *m = beta1 * *m + (1.0 - beta1) * gc;
+        *v = beta2 * *v + (1.0 - beta2) * gc * gc;
+        *w -= lr * (*m / c1) / ((*v / c2).sqrt() + eps);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -897,6 +985,112 @@ mod tests {
                 let gb: Vec<u32> = got.data().iter().map(|x| x.to_bits()).collect();
                 assert_eq!(gb, eb, "{rows}x{w} by {n}");
             }
+        }
+    }
+
+    /// The 8-row-blocked gradient GEMM must bit-match a one-step
+    /// ascending-r accumulation at every block remainder (m % 8).
+    #[test]
+    fn t_matmul_blocked_bit_matches_one_step_loop() {
+        let mut rng = Prng::new(37);
+        for m in [1usize, 3, 4, 7, 8, 9, 15, 16, 17, 33] {
+            for (k, n) in [(5usize, 4usize), (16, 24), (1, 1), (32, 6)] {
+                let a_data: Vec<f32> = (0..m * k).map(|_| rng.gauss() as f32).collect();
+                let b_data: Vec<f32> = (0..m * n).map(|_| rng.gauss() as f32).collect();
+                let a = Matrix::from_slice(m, k, &a_data);
+                let b = Matrix::from_slice(m, n, &b_data);
+                let mut expect = Matrix::zeros(k, n);
+                for r in 0..m {
+                    let arow = a.row(r);
+                    let brow = b.row(r);
+                    for (i, &x) in arow.iter().enumerate() {
+                        for (o, &v) in expect.row_mut(i).iter_mut().zip(brow) {
+                            *o += x * v;
+                        }
+                    }
+                }
+                let mut got = Matrix::from_slice(1, 1, &[5.0]);
+                a.t_matmul_into(&b, &mut got);
+                let eb: Vec<u32> = expect.data().iter().map(|x| x.to_bits()).collect();
+                let gb: Vec<u32> = got.data().iter().map(|x| x.to_bits()).collect();
+                assert_eq!(gb, eb, "{m}x{k} by {m}x{n}");
+            }
+        }
+    }
+
+    /// The fused momentum kernel must bit-match the unfused pipeline:
+    /// scale pass, clamp pass, then `v·momentum`, `v += −lr·g`,
+    /// `w += v` as separate vector ops.
+    #[test]
+    fn momentum_step_bit_matches_unfused_sequence() {
+        let mut rng = Prng::new(41);
+        for n in [1usize, 8, 37, 256] {
+            let grad: Vec<f32> = (0..n).map(|_| rng.gauss() as f32 * 40.0).collect();
+            let w0: Vec<f32> = (0..n).map(|_| rng.gauss() as f32).collect();
+            let v0: Vec<f32> = (0..n).map(|_| rng.gauss() as f32).collect();
+            let (lr, momentum, batch) = (0.05f32, 0.9f32, 24.0f32);
+            // Unfused reference.
+            let mut g_ref = Matrix::from_slice(1, n, &grad);
+            g_ref.scale(1.0 / batch);
+            for g in g_ref.data_mut() {
+                *g = g.clamp(-5.0, 5.0);
+            }
+            let mut w_ref = Matrix::from_slice(1, n, &w0);
+            let mut v_ref = Matrix::from_slice(1, n, &v0);
+            v_ref.scale(momentum);
+            v_ref.axpy(-lr, &g_ref);
+            w_ref.axpy(1.0, &v_ref);
+            // Fused.
+            let (mut w, mut v) = (w0.clone(), v0.clone());
+            momentum_step(&mut w, &mut v, &grad, 1.0 / batch, 5.0, lr, momentum);
+            let eq = |a: &[f32], b: &[f32]| {
+                a.iter().map(|x| x.to_bits()).eq(b.iter().map(|x| x.to_bits()))
+            };
+            assert!(eq(&w, w_ref.data()), "weights diverge at n={n}");
+            assert!(eq(&v, v_ref.data()), "velocity diverges at n={n}");
+        }
+    }
+
+    /// The fused Adam kernel must bit-match the unfused pipeline
+    /// (scale pass, clamp pass, per-element moment/parameter updates).
+    #[test]
+    fn adam_step_bit_matches_unfused_sequence() {
+        let mut rng = Prng::new(43);
+        for n in [1usize, 8, 37, 256] {
+            let grad: Vec<f32> = (0..n).map(|_| rng.gauss() as f32 * 40.0).collect();
+            let w0: Vec<f32> = (0..n).map(|_| rng.gauss() as f32).collect();
+            let m0: Vec<f32> = (0..n).map(|_| rng.gauss() as f32 * 0.1).collect();
+            let v0: Vec<f32> = (0..n).map(|_| (rng.gauss() as f32 * 0.1).abs()).collect();
+            let (lr, beta1, beta2, eps, batch) = (0.02f32, 0.9f32, 0.999f32, 1e-8f32, 24.0f32);
+            let (c1, c2) = (1.0 - beta1.powf(3.0), 1.0 - beta2.powf(3.0));
+            // Unfused reference.
+            let mut g_ref = Matrix::from_slice(1, n, &grad);
+            g_ref.scale(1.0 / batch);
+            for g in g_ref.data_mut() {
+                *g = g.clamp(-5.0, 5.0);
+            }
+            let (mut w_ref, mut m_ref, mut v_ref) = (w0.clone(), m0.clone(), v0.clone());
+            for (((w, m), v), g) in w_ref
+                .iter_mut()
+                .zip(&mut m_ref)
+                .zip(&mut v_ref)
+                .zip(g_ref.data())
+            {
+                *m = beta1 * *m + (1.0 - beta1) * g;
+                *v = beta2 * *v + (1.0 - beta2) * g * g;
+                *w -= lr * (*m / c1) / ((*v / c2).sqrt() + eps);
+            }
+            // Fused.
+            let (mut w, mut m, mut v) = (w0.clone(), m0.clone(), v0.clone());
+            adam_step(
+                &mut w, &mut m, &mut v, &grad, 1.0 / batch, 5.0, lr, beta1, beta2, eps, c1, c2,
+            );
+            let eq = |a: &[f32], b: &[f32]| {
+                a.iter().map(|x| x.to_bits()).eq(b.iter().map(|x| x.to_bits()))
+            };
+            assert!(eq(&w, &w_ref), "weights diverge at n={n}");
+            assert!(eq(&m, &m_ref), "first moment diverges at n={n}");
+            assert!(eq(&v, &v_ref), "second moment diverges at n={n}");
         }
     }
 

@@ -123,8 +123,14 @@ pub struct InferScratch {
 /// allocations: forward activations and pre-activations per trunk
 /// layer, softmax/gradient carriers, and per-layer parameter-gradient
 /// scratch.
+///
+/// Public so parallel training fan-outs can hold one instance per
+/// *worker* (via [`EarlyExitMlp::train_batch_parts_with`]) instead of
+/// re-warming each model's embedded scratch; the buffers carry no
+/// model state — every field is fully overwritten before it is read —
+/// so sharing an instance across models is bit-safe.
 #[derive(Debug, Default)]
-struct TrainScratch {
+pub struct TrainScratch {
     /// Post-activation output of each trunk layer.
     activations: Vec<Matrix>,
     /// Pre-activation output of each trunk layer (ReLU mask input).
@@ -425,6 +431,24 @@ impl EarlyExitMlp {
             }
         }
         total_loss / labels.len() as f64
+    }
+
+    /// [`Self::train_batch_parts`] using a caller-owned scratch instead
+    /// of the model's embedded one — the entry point for parallel
+    /// training fan-outs, where one warmed [`TrainScratch`] per worker
+    /// serves every model that worker trains. Implemented as two
+    /// pointer swaps around the embedded-scratch path, so the math (and
+    /// its result, bit for bit) is identical.
+    pub fn train_batch_parts_with(
+        &mut self,
+        inputs: &Matrix,
+        labels: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> f64 {
+        std::mem::swap(&mut self.scratch, scratch);
+        let loss = self.train_batch_parts(inputs, labels);
+        std::mem::swap(&mut self.scratch, scratch);
+        loss
     }
 
     /// Trains on `batch` for `epochs` passes; returns the final loss.

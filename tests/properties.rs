@@ -575,3 +575,82 @@ fn predictor_off_is_inert_across_methods_and_seeds() {
         }
     }
 }
+
+/// The overlapped period pipeline is a pure performance switch: with
+/// the same seed, a run that prebuilds drift artifacts on background
+/// workers and fans retraining slices out across a pool is bit-identical
+/// to the fully inline run, at every pool width. Verified at three
+/// seeds × pool widths {1, 2, 4, 8} (driving both the drift prebuild
+/// stage and the boundary training fan-out) against the inline
+/// (`drift_overlap: false`, sequential training) baseline: request
+/// totals, shed counts, the full fine-grained accuracy series, and the
+/// summary aggregates all match to the bit.
+#[test]
+fn overlapped_pipeline_bit_identical_to_inline() {
+    use adainf::core::AdaInfConfig;
+    use adainf::harness::sim::{run, Method, RunConfig};
+    use adainf::simcore::SimDuration;
+    let make = |seed: u64, overlap: bool, workers: usize| {
+        run(RunConfig {
+            method: Method::AdaInf(AdaInfConfig {
+                drift_overlap: overlap,
+                drift_workers: workers,
+                ..AdaInfConfig::default()
+            }),
+            seed,
+            num_apps: 3,
+            duration: SimDuration::from_secs(60),
+            train_workers: workers,
+            ..RunConfig::default()
+        })
+    };
+    for seed in [11u64, 23, 47] {
+        let inline = make(seed, false, 1);
+        assert!(
+            inline.period_overhead.count() >= 2,
+            "seed {seed}: no period boundaries crossed — the pipeline never ran"
+        );
+        let base = inline.summary();
+        let base_fine = inline.accuracy_fine.ratios();
+        for workers in [1usize, 2, 4, 8] {
+            let m = make(seed, true, workers);
+            let s = m.summary();
+            assert_eq!(
+                m.total_requests, inline.total_requests,
+                "seed {seed} workers {workers}: total_requests"
+            );
+            assert_eq!(
+                m.shed_requests, inline.shed_requests,
+                "seed {seed} workers {workers}: shed_requests"
+            );
+            assert_eq!(
+                s.mean_accuracy.to_bits(),
+                base.mean_accuracy.to_bits(),
+                "seed {seed} workers {workers}: mean_accuracy"
+            );
+            assert_eq!(
+                s.mean_finish_rate.to_bits(),
+                base.mean_finish_rate.to_bits(),
+                "seed {seed} workers {workers}: mean_finish_rate"
+            );
+            assert_eq!(
+                s.mean_inference_latency_ms.to_bits(),
+                base.mean_inference_latency_ms.to_bits(),
+                "seed {seed} workers {workers}: mean_inference_latency_ms"
+            );
+            let fine = m.accuracy_fine.ratios();
+            assert_eq!(
+                fine.len(),
+                base_fine.len(),
+                "seed {seed} workers {workers}: accuracy window count"
+            );
+            for (w, (a, b)) in fine.iter().zip(&base_fine).enumerate() {
+                assert_eq!(
+                    a.map(f64::to_bits),
+                    b.map(f64::to_bits),
+                    "seed {seed} workers {workers}: accuracy window {w}"
+                );
+            }
+        }
+    }
+}
